@@ -1,0 +1,50 @@
+# Restartable Atomic Sequences — reproduction of Bershad, Redell & Ellis,
+# "Fast Mutual Exclusion for Uniprocessors" (ASPLOS 1992).
+
+GO ?= go
+
+.PHONY: all build test race cover bench tables examples fuzz fmt vet clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/uniproc/ ./internal/core/ ./internal/cthreads/ ./internal/rseq/
+
+cover:
+	$(GO) test -cover ./internal/...
+
+# One Go benchmark per paper table plus the extension studies.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# The same tables as human-readable output (see EXPERIMENTS.md).
+tables:
+	$(GO) run ./cmd/rasbench -iters 50000
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/mechanisms
+	$(GO) run ./examples/guestasm
+	$(GO) run ./examples/producer_consumer
+	$(GO) run ./examples/parthenon
+	$(GO) run ./examples/waitfree
+	$(GO) run ./examples/rseq
+
+fuzz:
+	$(GO) test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
+	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/asm/
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,111 @@
+// Command rasasm assembles a guest source file and prints the encoded
+// program: a disassembly listing with addresses, plus the symbol table.
+//
+// Usage:
+//
+//	rasasm prog.s
+//	rasasm -figure tas        # print a built-in figure from the paper
+//
+// Built-in figures: tas (Figure 4, the Mach registered Test-And-Set),
+// mutex (Figure 5, the Taos designated acquire sequence).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+const figureTAS = `
+# Figure 4: restartable Test-And-Set using explicit registration (Mach).
+# The registered range covers exactly lw..sw; the return jump is outside.
+	.text
+TestAndSet:
+ras_begin:
+	lw   v0, 0(a0)          # v0 = contents of a0
+	ori  t0, zero, 1        # temporary t0 gets 1
+	sw   t0, 0(a0)          # store 1 in Test-And-Set location
+ras_end:
+	jr   ra                 # return to caller, result in v0
+`
+
+const figureMutex = `
+# Figure 5: a restartable atomic sequence for mutex acquisition using an
+# inlined designated sequence (Taos).
+	.text
+Acquire:
+	lw   v0, 0(a0)          # get value of mutex
+	ori  t0, zero, 1        # locked value
+	bne  v0, zero, SlowAcquire  # branch if not common case
+	landmark                # special landmark value
+	sw   t0, 0(a0)          # store locked value
+	jr   ra
+SlowAcquire:
+	li   v0, 1              # out-of-line kernel call (yield)
+	syscall
+	jr   ra
+`
+
+func main() {
+	figure := flag.String("figure", "", "print a built-in figure: tas, mutex")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *figure == "tas":
+		src = figureTAS
+	case *figure == "mutex":
+		src = figureMutex
+	case *figure != "":
+		fmt.Fprintf(os.Stderr, "rasasm: unknown figure %q\n", *figure)
+		os.Exit(1)
+	case flag.NArg() == 1:
+		raw, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rasasm:", err)
+			os.Exit(1)
+		}
+		src = string(raw)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: rasasm [-figure tas|mutex] [file.s]")
+		os.Exit(2)
+	}
+
+	out, err := render(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rasasm:", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}
+
+// render assembles src and produces the listing: disassembly, data words,
+// and the symbol table sorted by address.
+func render(src string) (string, error) {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(asm.Disassemble(prog))
+	if len(prog.Data) > 0 {
+		b.WriteString("\ndata:\n")
+		for i, w := range prog.Data {
+			fmt.Fprintf(&b, "  %08x:  %08x\n", prog.DataBase+uint32(i*4), w)
+		}
+	}
+	b.WriteString("\nsymbols:\n")
+	names := make([]string, 0, len(prog.Symbols))
+	for n := range prog.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return prog.Symbols[names[i]] < prog.Symbols[names[j]] })
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %08x  %s\n", prog.Symbols[n], n)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderFigureTAS(t *testing.T) {
+	out, err := render(figureTAS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"TestAndSet:", "ras_begin", "lw v0, 0(a0)", "sw t0, 0(a0)", "jr ra", "symbols:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestRenderFigureMutex(t *testing.T) {
+	out, err := render(figureMutex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Acquire:", "landmark", "SlowAcquire", "syscall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q", want)
+		}
+	}
+}
+
+func TestRenderData(t *testing.T) {
+	out, err := render("main:\n\tnop\n\t.data\nx: .word 0xfeedface\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "feedface") || !strings.Contains(out, "data:") {
+		t.Errorf("data section missing:\n%s", out)
+	}
+}
+
+func TestRenderError(t *testing.T) {
+	if _, err := render("bogus mnemonic here"); err == nil {
+		t.Error("bad source accepted")
+	}
+}

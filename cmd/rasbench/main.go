@@ -1,0 +1,151 @@
+// Command rasbench regenerates the paper's evaluation tables on the
+// simulated uniprocessor.
+//
+// Usage:
+//
+//	rasbench                     # all tables
+//	rasbench -table 1            # just Table 1
+//	rasbench -table 3 -scale 4   # Table 3 with 4x workloads
+//	rasbench -iters 100000       # longer microbenchmark loops
+//
+// Tables: 1 (microbenchmarks), 2 (thread management), 3 (applications),
+// 4 (eight architectures), i860 (§7 lock bit), lamport (reservation
+// protocols), holdups (§5.3 parthenon-10 analysis), ablation (§4.1 check
+// placement).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,all")
+	itersF := flag.Int("iters", 20000, "microbenchmark loop iterations")
+	scale := flag.Int("scale", 1, "table 3 workload multiplier")
+	flag.Parse()
+
+	if err := run(*table, *itersF, *scale); err != nil {
+		fmt.Fprintln(os.Stderr, "rasbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, iters, scale int) error {
+	all := table == "all"
+	section := func(title string) { fmt.Printf("\n== %s ==\n\n", title) }
+
+	if all || table == "1" {
+		section("Table 1: mutual exclusion microbenchmarks, DECstation 5000/200 (simulated)")
+		rows, err := bench.Table1(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable1(rows))
+	}
+	if all || table == "2" {
+		section("Table 2: thread management overhead, emulation vs R.A.S.")
+		rows, err := bench.Table2(iters / 10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable2(rows))
+	}
+	if all || table == "3" {
+		section("Table 3: application performance")
+		s := bench.DefaultScale()
+		s.TextParas *= scale
+		s.AFSDirs *= scale
+		s.ParthChain *= scale
+		s.ProtonKB *= scale
+		rows, err := bench.Table3(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable3(rows))
+	}
+	if all || table == "4" {
+		section("Table 4: hardware vs software Test-And-Set, eight processors")
+		rows, err := bench.Table4(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatTable4(rows))
+	}
+	if all || table == "i860" {
+		section("i860 hardware lock bit vs software (§7)")
+		rows, err := bench.TableI860(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatI860(rows))
+	}
+	if all || table == "lamport" {
+		section("Software reservation protocols (Figure 1 vs Figure 2)")
+		rows, err := bench.TableLamport(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatLamport(rows))
+	}
+	if all || table == "holdups" {
+		section("parthenon-10 lock holdups (§5.3)")
+		s := bench.DefaultScale()
+		s.Quantum = 3000
+		rows, err := bench.TableHoldups(s)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatHoldups(rows))
+	}
+	if all || table == "ablation" {
+		section("PC-check placement ablation (§4.1)")
+		rows, err := bench.TableAblation(3, 200)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAblation(rows))
+	}
+	if all || table == "wbuf" {
+		section("Write-buffer sensitivity (§5.1 design remark)")
+		rows, err := bench.TableWriteBuffer(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatWriteBuffer(rows))
+	}
+	if all || table == "ranges" {
+		section("Registration-table size vs check cost (§3.1 restriction)")
+		rows, err := bench.TableRegistrationRanges(3, 200)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRanges(rows, arch.R3000().PCCheckDesignatedCycles))
+	}
+	if all || table == "quantum" {
+		section("Restart frequency vs scheduling quantum (validating §5.3's optimism)")
+		rows, err := bench.TableQuantumSweep(4, 500, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatQuantumSweep(rows))
+	}
+	if all || table == "workers" {
+		section("Server worker pool on a uniprocessor (afs-bench client)")
+		rows, err := bench.TableServerWorkers(nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatServerWorkers(rows))
+	}
+	switch table {
+	case "all", "1", "2", "3", "4", "i860", "lamport", "holdups", "ablation",
+		"wbuf", "ranges", "quantum", "workers":
+		return nil
+	}
+	return fmt.Errorf("unknown table %q", table)
+}

@@ -1,0 +1,155 @@
+// Command rasvm assembles and runs a guest program on the simulated
+// uniprocessor, with a choice of processor profile and kernel recovery
+// strategy.
+//
+// Usage:
+//
+//	rasvm [-arch r3000] [-strategy registration] [-quantum 10000] prog.s
+//	rasvm -demo counter -strategy designated -workers 4 -iters 1000
+//
+// The -demo flag runs a built-in workload instead of a source file:
+// "counter" is the shared-counter mutual exclusion workload; its final
+// counter value and kernel statistics are printed, so the effect of each
+// recovery strategy (including "none") is directly observable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/guest"
+	"repro/internal/vmach/kernel"
+)
+
+func main() {
+	archName := flag.String("arch", "r3000", "processor profile (see -list)")
+	strategy := flag.String("strategy", "registration", "recovery strategy: none, registration, designated, userlevel")
+	checkAt := flag.String("check", "suspend", "PC check placement: suspend, resume")
+	quantum := flag.Uint64("quantum", 10000, "timeslice in cycles")
+	demo := flag.String("demo", "", "built-in workload: counter")
+	mech := flag.String("mech", "registered", "demo mechanism: none, registered, designated, emulation, interlocked, lockbit, userlevel, lamport-a, lamport-b, taos-mutex")
+	workers := flag.Int("workers", 4, "demo worker threads")
+	itersF := flag.Int("iters", 1000, "demo iterations per worker")
+	list := flag.Bool("list", false, "list processor profiles and exit")
+	trace := flag.Int("trace", 0, "print the last N kernel events (0 disables tracing)")
+	flag.Parse()
+
+	if *list {
+		for _, n := range arch.Names() {
+			fmt.Printf("%-8s %s\n", n, arch.ByName(n))
+		}
+		return
+	}
+	if err := run(*archName, *strategy, *checkAt, *quantum, *demo, *mech, *workers, *itersF, *trace, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "rasvm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(archName, strategy, checkAt string, quantum uint64,
+	demo, mech string, workers, iters, trace int, args []string) error {
+	prof := arch.ByName(archName)
+	if prof == nil {
+		return fmt.Errorf("unknown architecture %q (try -list)", archName)
+	}
+	var strat kernel.Strategy
+	switch strategy {
+	case "none":
+		strat = kernel.NoRecovery{}
+	case "registration":
+		strat = &kernel.Registration{}
+	case "designated":
+		strat = &kernel.Designated{}
+	case "userlevel":
+		strat = &kernel.UserLevel{}
+	default:
+		return fmt.Errorf("unknown strategy %q", strategy)
+	}
+	at := kernel.CheckAtSuspend
+	if checkAt == "resume" {
+		at = kernel.CheckAtResume
+	} else if checkAt != "suspend" {
+		return fmt.Errorf("unknown check placement %q", checkAt)
+	}
+
+	var src string
+	switch {
+	case demo == "counter":
+		m, err := mechByName(mech)
+		if err != nil {
+			return err
+		}
+		src = guest.MutexCounterProgram(m, workers, iters)
+	case demo != "":
+		return fmt.Errorf("unknown demo %q", demo)
+	case len(args) == 1:
+		raw, err := os.ReadFile(args[0])
+		if err != nil {
+			return err
+		}
+		src = string(raw)
+	default:
+		return fmt.Errorf("expected one source file or -demo")
+	}
+
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+	k := kernel.New(kernel.Config{Profile: prof, Strategy: strat, CheckAt: at, Quantum: quantum})
+	var tracer *kernel.RingTracer
+	if trace > 0 {
+		tracer = kernel.NewRingTracer(trace)
+		k.Tracer = tracer
+	}
+	k.Load(prog)
+	entry, ok := prog.SymbolAddr("main")
+	if !ok {
+		return fmt.Errorf("program has no main symbol")
+	}
+	k.Spawn(entry, guest.StackTop(0))
+	runErr := k.Run()
+
+	fmt.Printf("profile:       %s\n", prof)
+	fmt.Printf("strategy:      %s (check at %s)\n", strat.Name(), checkAt)
+	fmt.Printf("instructions:  %d\n", k.M.Stats.Instructions)
+	fmt.Printf("cycles:        %d (%.2f us)\n", k.M.Stats.Cycles, k.Micros())
+	fmt.Printf("suspensions:   %d (preemptions %d, page faults %d)\n",
+		k.Stats.Suspensions, k.Stats.Preemptions, k.Stats.PageFaults)
+	fmt.Printf("restarts:      %d (check rejects %d)\n", k.Stats.Restarts, k.Stats.CheckRejects)
+	fmt.Printf("emul traps:    %d, syscalls %d, switches %d\n",
+		k.Stats.EmulTraps, k.Stats.Syscalls, k.Stats.Switches)
+	if demo == "counter" {
+		got := k.M.Mem.Peek(prog.MustSymbol("counter"))
+		want := uint32(workers * iters)
+		status := "CORRECT"
+		if got != want {
+			status = "LOST UPDATES"
+		}
+		fmt.Printf("counter:       %d / %d  [%s]\n", got, want, status)
+	}
+	if len(k.Console) > 0 {
+		fmt.Printf("console:       %v\n", k.Console)
+	}
+	if tracer != nil {
+		fmt.Printf("\nlast %d of %d kernel events:\n%s", len(tracer.Events()), tracer.Total(), tracer)
+	}
+	return runErr
+}
+
+func mechByName(s string) (guest.Mechanism, error) {
+	for _, m := range []guest.Mechanism{
+		guest.MechNone, guest.MechRegistered, guest.MechDesignated,
+		guest.MechEmul, guest.MechInterlocked, guest.MechLockB,
+		guest.MechUserLevel, guest.MechLamportA, guest.MechLamportB,
+		guest.MechTaosMutex,
+	} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown mechanism %q", s)
+}

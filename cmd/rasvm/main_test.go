@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDemoCounterAllMechanisms(t *testing.T) {
+	cases := []struct {
+		strategy, mech string
+	}{
+		{"registration", "registered"},
+		{"designated", "designated"},
+		{"userlevel", "userlevel"},
+		{"none", "emulation"},
+		{"none", "lamport-a"},
+		{"none", "lamport-b"},
+	}
+	for _, c := range cases {
+		err := run("r3000", c.strategy, "suspend", 500, "counter", c.mech, 2, 50, 0, nil)
+		if err != nil {
+			t.Errorf("%s/%s: %v", c.strategy, c.mech, err)
+		}
+	}
+}
+
+func TestDemoCounterInterlockedOn486(t *testing.T) {
+	if err := run("486", "none", "suspend", 500, "counter", "interlocked", 2, 50, 0, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDemoWithTrace(t *testing.T) {
+	if err := run("r3000", "registration", "suspend", 53, "counter", "registered", 2, 50, 16, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckAtResume(t *testing.T) {
+	if err := run("r3000", "designated", "resume", 211, "counter", "designated", 2, 50, 0, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.s")
+	src := "main:\n\tli a0, 0\n\tli v0, 0\n\tsyscall\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("r3000", "none", "suspend", 1000, "", "", 0, 0, 0, []string{path}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run("pdp11", "none", "suspend", 100, "counter", "registered", 1, 1, 0, nil); err == nil {
+		t.Error("unknown arch accepted")
+	}
+	if err := run("r3000", "bogus", "suspend", 100, "counter", "registered", 1, 1, 0, nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run("r3000", "none", "sideways", 100, "counter", "registered", 1, 1, 0, nil); err == nil {
+		t.Error("unknown check placement accepted")
+	}
+	if err := run("r3000", "none", "suspend", 100, "frobnicate", "", 1, 1, 0, nil); err == nil {
+		t.Error("unknown demo accepted")
+	}
+	if err := run("r3000", "none", "suspend", 100, "counter", "warp-drive", 1, 1, 0, nil); err == nil {
+		t.Error("unknown mechanism accepted")
+	}
+	if err := run("r3000", "none", "suspend", 100, "", "", 0, 0, 0, nil); err == nil {
+		t.Error("missing source file accepted")
+	}
+	if err := run("r3000", "none", "suspend", 100, "", "", 0, 0, 0, []string{"/nonexistent.s"}); err == nil {
+		t.Error("unreadable source accepted")
+	}
+}
+
+func TestDemoTaosMutex(t *testing.T) {
+	if err := run("r3000", "designated", "resume", 97, "counter", "taos-mutex", 3, 80, 0, nil); err != nil {
+		t.Error(err)
+	}
+}

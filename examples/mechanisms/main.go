@@ -1,0 +1,83 @@
+// Mechanisms: run the same contended-counter workload under every atomic
+// operation mechanism the paper discusses — restartable atomic sequences
+// (inline and registered), kernel emulation, hardware interlocked
+// instructions, Lamport software reservation, and the deliberately unsound
+// baseline — and compare cost and correctness.
+//
+//	go run ./examples/mechanisms
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/lamport"
+	"repro/internal/uniproc"
+)
+
+const (
+	workers = 4
+	iters   = 1_500
+	quantum = 61
+)
+
+// run executes the workload, returning the final counter and elapsed
+// microseconds.
+func run(prof *arch.Profile, lock core.Locker) (core.Word, float64, error) {
+	proc := uniproc.New(uniproc.Config{Profile: prof, Quantum: quantum, JitterSeed: 7})
+	var counter core.Word
+	for i := 0; i < workers; i++ {
+		proc.Go("worker", func(e *uniproc.Env) {
+			for n := 0; n < iters; n++ {
+				lock.Acquire(e)
+				v := e.Load(&counter)
+				e.ChargeALU(1)
+				e.Store(&counter, v+1)
+				lock.Release(e)
+			}
+		})
+	}
+	err := proc.Run()
+	return counter, proc.Micros(), err
+}
+
+func main() {
+	r3000 := arch.R3000()
+	i486 := arch.I486()
+	interlocked, err := core.NewInterlocked(i486)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rows := []struct {
+		name string
+		prof *arch.Profile
+		lock core.Locker
+	}{
+		{"RAS inline (Taos-style)", r3000, core.NewTASLock(core.NewRAS())},
+		{"RAS registered (Mach-style)", r3000, core.NewTASLock(core.NewRASRegistered())},
+		{"Kernel emulation", r3000, core.NewTASLock(core.NewKernelEmul(r3000))},
+		{"Lamport direct (a)", r3000, lamport.NewDirectLock(workers)},
+		{"Lamport bundled meta (b)", r3000, core.NewTASLock(lamport.NewMeta(workers))},
+		{"Interlocked tas (486)", i486, core.NewTASLock(interlocked)},
+		{"UNSOUND no-recovery", r3000, core.NewTASLock(core.Unsound{})},
+	}
+
+	want := core.Word(workers * iters)
+	fmt.Printf("%-30s %12s %12s  %s\n", "mechanism", "counter", "time (us)", "verdict")
+	for _, r := range rows {
+		got, us, err := run(r.prof, r.lock)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
+		verdict := "correct"
+		if got != want {
+			verdict = fmt.Sprintf("LOST %d UPDATES", want-got)
+		}
+		fmt.Printf("%-30s %12d %12.1f  %s\n", r.name, got, us, verdict)
+	}
+	fmt.Println("\nThe unsound baseline shows why kernel recovery support matters;")
+	fmt.Println("everything else preserves mutual exclusion, at very different costs.")
+}

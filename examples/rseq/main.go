@@ -1,0 +1,75 @@
+// Rseq: the paper's restartable atomic sequences are the direct ancestor
+// of Linux rseq(2). This example uses the librseq-shaped API from
+// internal/rseq — compare-and-store, restartable add, and an intrusive
+// per-CPU list — under heavy preemption, with zero atomic instructions and
+// zero locks.
+//
+//	go run ./examples/rseq
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/rseq"
+	"repro/internal/uniproc"
+)
+
+func main() {
+	proc := uniproc.New(uniproc.Config{Quantum: 43, JitterSeed: 11})
+
+	var counter rseq.PerCPUCounter
+	var casTarget rseq.Word
+	casWins := 0
+
+	const nodes = 1200
+	var head rseq.Word
+	next := make([]rseq.Word, nodes)
+	drained := 0
+	pushersDone := 0
+
+	for i := 0; i < 3; i++ {
+		base := i * (nodes / 3)
+		proc.Go("worker", func(e *uniproc.Env) {
+			for j := 0; j < nodes/3; j++ {
+				counter.Inc(e)                              // rseq_addv
+				rseq.ListPush(e, &head, next, base+j)       // per-CPU list push
+				if rseq.CmpEqvStorev(e, &casTarget, 0, 1) { // rseq_cmpeqv_storev
+					casWins++
+					rseq.Addv(e, &casTarget, ^rseq.Word(0)) // back to 0
+				}
+			}
+			pushersDone++
+		})
+	}
+	proc.Go("drainer", func(e *uniproc.Env) {
+		for {
+			drained += len(rseq.ListPopAll(e, &head, next))
+			if pushersDone == 3 && drained == nodes {
+				return
+			}
+			e.Yield()
+		}
+	})
+
+	if err := proc.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	check := uniproc.New(uniproc.Config{})
+	var sum rseq.Word
+	check.Go("read", func(e *uniproc.Env) { sum = counter.Sum(e) })
+	if err := check.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("per-CPU counter sum  %d (want %d)\n", sum, nodes)
+	fmt.Printf("list nodes drained   %d (want %d)\n", drained, nodes)
+	fmt.Printf("cmpeqv_storev wins   %d\n", casWins)
+	fmt.Printf("suspensions %d, sequence restarts %d\n",
+		proc.Stats.Suspensions, proc.Stats.Restarts)
+	if sum != nodes || drained != nodes {
+		log.Fatal("lost updates")
+	}
+	fmt.Println("every operation committed exactly once — 1992's mechanism, 2020s' API")
+}

@@ -1,0 +1,160 @@
+// Package apps_test holds cross-cutting integration tests: every Table 3
+// application must produce identical *results* (not timings) no matter
+// which atomic-operation mechanism the thread package uses, and identical
+// everything given identical configuration — the determinism the benchmark
+// harness relies on.
+package apps_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/apps/afsbench"
+	"repro/internal/apps/parthenon"
+	"repro/internal/apps/proton"
+	"repro/internal/apps/textfmt"
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/lamport"
+	"repro/internal/memfs"
+	"repro/internal/uniproc"
+	"repro/internal/uxserver"
+)
+
+// mechs returns the mechanisms applications must be invariant over.
+func mechs() map[string]core.Mechanism {
+	return map[string]core.Mechanism{
+		"ras":       core.NewRAS(),
+		"ras-reg":   core.NewRASRegistered(),
+		"emulation": core.NewKernelEmul(arch.R3000()),
+		"lamport-b": lamport.NewMeta(32),
+	}
+}
+
+// withWorld runs client on a fresh processor with a server.
+func withWorld(t *testing.T, mech core.Mechanism, client func(e *uniproc.Env, pkg *cthreads.Pkg, s *uxserver.Server)) *uniproc.Processor {
+	t.Helper()
+	proc := uniproc.New(uniproc.Config{Quantum: 9000, JitterSeed: 99})
+	pkg := cthreads.New(mech)
+	s := uxserver.Start(proc, pkg, memfs.New(pkg), 2)
+	proc.Go("client", func(e *uniproc.Env) {
+		client(e, pkg, s)
+		s.Shutdown(e)
+	})
+	if err := proc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return proc
+}
+
+func TestParthenonResultMechanismInvariant(t *testing.T) {
+	input := append(parthenon.Chain(25), parthenon.Pigeonhole(3, 2)...)
+	var first *parthenon.Result
+	for name, m := range mechs() {
+		var res parthenon.Result
+		withWorld(t, m, func(e *uniproc.Env, pkg *cthreads.Pkg, s *uxserver.Server) {
+			res = parthenon.Run(e, parthenon.Config{Pkg: pkg, Workers: 4}, input)
+		})
+		if !res.Proved {
+			t.Fatalf("%s: not proved", name)
+		}
+		if first == nil {
+			r := res
+			first = &r
+		}
+		// Kept-clause counts can differ across schedules; the verdict must
+		// not.
+		if res.Proved != first.Proved {
+			t.Errorf("%s: verdict differs", name)
+		}
+	}
+}
+
+func TestProtonChecksumMechanismInvariant(t *testing.T) {
+	const size = 8192
+	want := proton.Checksum(proton.Generate(size))
+	for name, m := range mechs() {
+		var res proton.Result
+		var err error
+		withWorld(t, m, func(e *uniproc.Env, pkg *cthreads.Pkg, s *uxserver.Server) {
+			res, err = proton.Run(e, proton.Config{Pkg: pkg, Server: s, FileSize: size})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Checksum != want || res.Bytes != size {
+			t.Errorf("%s: checksum %#x bytes %d", name, res.Checksum, res.Bytes)
+		}
+	}
+}
+
+func TestTextfmtOutputMechanismInvariant(t *testing.T) {
+	var first []byte
+	for name, m := range mechs() {
+		var out []byte
+		withWorld(t, m, func(e *uniproc.Env, pkg *cthreads.Pkg, s *uxserver.Server) {
+			if _, err := textfmt.Run(e, textfmt.Config{
+				Server: s, Paragraphs: 5, WordsPerPara: 40, Width: 60,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			var err error
+			out, err = s.ReadFile(e, "/doc.out")
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		if first == nil {
+			first = out
+		}
+		if !bytes.Equal(out, first) {
+			t.Errorf("%s: formatted output differs", name)
+		}
+		if len(out) == 0 {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+}
+
+func TestAfsbenchResultMechanismInvariant(t *testing.T) {
+	cfg := afsbench.Config{Dirs: 2, FilesPerDir: 3, FileBytes: 1024}
+	var first *afsbench.Result
+	for name, m := range mechs() {
+		var res afsbench.Result
+		var err error
+		withWorld(t, m, func(e *uniproc.Env, pkg *cthreads.Pkg, s *uxserver.Server) {
+			c := cfg
+			c.Server = s
+			res, err = afsbench.Run(e, c)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if first == nil {
+			r := res
+			first = &r
+		}
+		if res != *first {
+			t.Errorf("%s: result %+v differs from %+v", name, res, *first)
+		}
+	}
+}
+
+// Determinism: identical configuration must give bit-identical statistics.
+func TestWorldDeterministic(t *testing.T) {
+	run := func() (uniproc.Stats, uint64) {
+		var proc *uniproc.Processor
+		proc = withWorld(t, core.NewRAS(), func(e *uniproc.Env, pkg *cthreads.Pkg, s *uxserver.Server) {
+			if _, err := proton.Run(e, proton.Config{Pkg: pkg, Server: s, FileSize: 4096}); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return proc.Stats, proc.Clock()
+	}
+	s1, c1 := run()
+	s2, c2 := run()
+	if s1 != s2 || c1 != c2 {
+		t.Errorf("nondeterministic: %+v @%d vs %+v @%d", s1, c1, s2, c2)
+	}
+}

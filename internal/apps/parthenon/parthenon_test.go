@@ -1,0 +1,153 @@
+package parthenon
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/uniproc"
+)
+
+func TestNormalize(t *testing.T) {
+	c, taut := normalize(Clause{3, -1, 3, 2})
+	if taut {
+		t.Fatal("not a tautology")
+	}
+	want := Clause{-1, 2, 3}
+	if len(c) != 3 || c[0] != want[0] || c[1] != want[1] || c[2] != want[2] {
+		t.Errorf("normalize = %v, want %v", c, want)
+	}
+	if _, taut := normalize(Clause{1, -1, 2}); !taut {
+		t.Error("tautology not detected")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	// (1 ∨ 2) and (-1 ∨ 3) resolve on 1 to (2 ∨ 3).
+	res, taut := resolve(Clause{1, 2}, Clause{-1, 3}, 1)
+	if taut || len(res) != 2 || res[0] != 2 || res[1] != 3 {
+		t.Errorf("resolve = %v taut=%v", res, taut)
+	}
+	// (1 ∨ 2) and (-1 ∨ -2) resolve on 1 to the tautology (2 ∨ -2).
+	if _, taut := resolve(Clause{1, 2}, Clause{-1, -2}, 1); !taut {
+		t.Error("tautological resolvent not flagged")
+	}
+	// Unit vs unit gives the empty clause.
+	res, taut = resolve(Clause{1}, Clause{-1}, 1)
+	if taut || len(res) != 0 {
+		t.Errorf("empty resolvent = %v", res)
+	}
+}
+
+func TestClauseStrings(t *testing.T) {
+	if got := (Clause{}).String(); got != "⊥" {
+		t.Errorf("empty clause string = %q", got)
+	}
+	if got := (Clause{-1, 2}).String(); got != "(-1 2)" {
+		t.Errorf("clause string = %q", got)
+	}
+}
+
+// prove runs the prover inside a fresh processor.
+func prove(t *testing.T, workers int, quantum uint64, input []Clause) (Result, *uniproc.Processor) {
+	t.Helper()
+	p := uniproc.New(uniproc.Config{Quantum: quantum, JitterSeed: 13})
+	pkg := cthreads.New(core.NewRAS())
+	var res Result
+	p.Go("main", func(e *uniproc.Env) {
+		res = Run(e, Config{Pkg: pkg, Workers: workers}, input)
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return res, p
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		res, _ := prove(t, workers, 5000, Pigeonhole(3, 2))
+		if !res.Proved {
+			t.Errorf("workers=%d: PHP(3,2) not proved unsatisfiable", workers)
+		}
+		if res.Resolvents == 0 || res.Kept == 0 {
+			t.Errorf("workers=%d: no work recorded: %+v", workers, res)
+		}
+	}
+}
+
+func TestChainUnsat(t *testing.T) {
+	res, proc := prove(t, 3, 3000, Chain(30))
+	if !res.Proved {
+		t.Error("chain not refuted")
+	}
+	if proc.Stats.Blocks == 0 {
+		t.Error("no blocking synchronization during proof")
+	}
+}
+
+func TestSatisfiableSaturates(t *testing.T) {
+	res, _ := prove(t, 2, 5000, Satisfiable())
+	if res.Proved {
+		t.Error("satisfiable input 'proved' unsatisfiable")
+	}
+}
+
+func TestPigeonholeSatisfiableCase(t *testing.T) {
+	// 2 pigeons, 2 holes: satisfiable; the prover must saturate.
+	res, _ := prove(t, 2, 5000, Pigeonhole(2, 2))
+	if res.Proved {
+		t.Error("PHP(2,2) is satisfiable but was 'refuted'")
+	}
+}
+
+func TestProverDeterministicAcrossQuanta(t *testing.T) {
+	for _, q := range []uint64{500, 2000, 50000} {
+		res, _ := prove(t, 4, q, Pigeonhole(3, 2))
+		if !res.Proved {
+			t.Errorf("quantum %d: proof lost", q)
+		}
+	}
+}
+
+func TestEmptyInputClauseProves(t *testing.T) {
+	res, _ := prove(t, 1, 5000, []Clause{{}})
+	if !res.Proved {
+		t.Error("explicit empty clause not detected")
+	}
+}
+
+func TestWorkersDefaulted(t *testing.T) {
+	res, _ := prove(t, 0, 5000, Chain(5))
+	if res.Workers != 1 {
+		t.Errorf("workers = %d, want 1", res.Workers)
+	}
+}
+
+func TestPigeonholeGenerator(t *testing.T) {
+	cnf := Pigeonhole(3, 2)
+	// 3 pigeon clauses + 2 holes x C(3,2)=3 pairs = 3 + 6 = 9.
+	if len(cnf) != 9 {
+		t.Errorf("PHP(3,2) clauses = %d, want 9", len(cnf))
+	}
+	cnf = Pigeonhole(4, 3)
+	// 4 + 3 * C(4,2)=6 -> 4 + 18 = 22.
+	if len(cnf) != 22 {
+		t.Errorf("PHP(4,3) clauses = %d, want 22", len(cnf))
+	}
+}
+
+func TestChainGenerator(t *testing.T) {
+	cnf := Chain(5)
+	if len(cnf) != 6 {
+		t.Errorf("chain clauses = %d, want 6", len(cnf))
+	}
+}
+
+// Parallel workers generate the synchronization profile the paper
+// describes: many short counter/queue critical sections.
+func TestSynchronizationVolume(t *testing.T) {
+	_, proc := prove(t, 10, 2000, Pigeonhole(3, 2))
+	if proc.Stats.Switches == 0 || proc.Stats.Forks < 10 {
+		t.Errorf("stats = %+v", proc.Stats)
+	}
+}

@@ -1,0 +1,132 @@
+package proton
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/memfs"
+	"repro/internal/uniproc"
+	"repro/internal/uxserver"
+)
+
+func runProton(t *testing.T, fileSize int) (Result, *uniproc.Processor, error) {
+	t.Helper()
+	p := uniproc.New(uniproc.Config{Quantum: 8192, JitterSeed: 21})
+	pkg := cthreads.New(core.NewRAS())
+	s := uxserver.Start(p, pkg, memfs.New(pkg), 2)
+	var res Result
+	var runErr error
+	p.Go("consumer", func(e *uniproc.Env) {
+		res, runErr = Run(e, Config{Pkg: pkg, Server: s, FileSize: fileSize})
+		s.Shutdown(e)
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return res, p, runErr
+}
+
+func TestTransfersWholeFile(t *testing.T) {
+	const size = 4096
+	res, _, err := runProton(t, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != size {
+		t.Errorf("bytes = %d, want %d", res.Bytes, size)
+	}
+	if res.Items != size/BufSize {
+		t.Errorf("items = %d, want %d", res.Items, size/BufSize)
+	}
+	if want := Checksum(Generate(size)); res.Checksum != want {
+		t.Errorf("checksum = %#x, want %#x", res.Checksum, want)
+	}
+}
+
+func TestPartialLastBuffer(t *testing.T) {
+	const size = 1000 // not a multiple of 64
+	res, _, err := runProton(t, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != size {
+		t.Errorf("bytes = %d, want %d", res.Bytes, size)
+	}
+	if res.Items != (size+BufSize-1)/BufSize {
+		t.Errorf("items = %d", res.Items)
+	}
+	if want := Checksum(Generate(size)); res.Checksum != want {
+		t.Errorf("checksum mismatch")
+	}
+}
+
+func TestHighSuspensionProfile(t *testing.T) {
+	// The defining property of proton-64 in Table 3: blocking handoffs
+	// dominate — the blocks count must be at least the number of buffers.
+	const size = 8192
+	res, proc, err := runProton(t, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Stats.Blocks < uint64(res.Items) {
+		t.Errorf("blocks = %d < items = %d", proc.Stats.Blocks, res.Items)
+	}
+}
+
+func TestEmptyFile(t *testing.T) {
+	p := uniproc.New(uniproc.Config{})
+	pkg := cthreads.New(core.NewRAS())
+	s := uxserver.Start(p, pkg, memfs.New(pkg), 1)
+	var res Result
+	var runErr error
+	p.Go("consumer", func(e *uniproc.Env) {
+		if err := s.Create(e, "/empty"); err != nil {
+			t.Error(err)
+		}
+		res, runErr = Run(e, Config{Pkg: pkg, Server: s, Path: "/empty"})
+		s.Shutdown(e)
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if res.Items != 0 || res.Bytes != 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestMissingFileFails(t *testing.T) {
+	p := uniproc.New(uniproc.Config{})
+	pkg := cthreads.New(core.NewRAS())
+	s := uxserver.Start(p, pkg, memfs.New(pkg), 1)
+	var runErr error
+	p.Go("consumer", func(e *uniproc.Env) {
+		_, runErr = Run(e, Config{Pkg: pkg, Server: s, Path: "/nope"})
+		s.Shutdown(e)
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr == nil || !strings.Contains(runErr.Error(), "not found") {
+		t.Errorf("err = %v", runErr)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(256), Generate(256)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Generate not deterministic")
+		}
+	}
+	if Checksum(a) != Checksum(b) {
+		t.Fatal("Checksum not deterministic")
+	}
+	if Checksum([]byte{1}) == Checksum([]byte{2}) {
+		t.Error("checksum collision on trivial inputs")
+	}
+}

@@ -1,0 +1,192 @@
+// Package textfmt is a single-threaded text formatter — the stand-in for
+// the paper's text-format workload (formatting a paper with LaTeX). It
+// reads a document through the multithreaded user-level server, fills and
+// justifies paragraphs, and writes the result back page by page.
+//
+// The application itself has one thread; all of its synchronization load is
+// indirect, inside the server — which is exactly the effect Table 3
+// demonstrates with text-format's ~3% improvement under restartable atomic
+// sequences.
+package textfmt
+
+import (
+	"strings"
+
+	"repro/internal/uniproc"
+	"repro/internal/uxserver"
+)
+
+// Config parametrizes a run.
+type Config struct {
+	Server *uxserver.Server
+	In     string // input path; generated if Paragraphs > 0
+	Out    string // output path
+	Width  int    // fill width; default 72
+
+	// Document generation knobs (used when Paragraphs > 0).
+	Paragraphs   int
+	WordsPerPara int
+}
+
+// Result summarizes a run.
+type Result struct {
+	Paragraphs int
+	Lines      int
+	BytesOut   int
+}
+
+var lexicon = []string{
+	"atomic", "sequence", "kernel", "thread", "mutual", "exclusion",
+	"uniprocessor", "optimistic", "restart", "suspension", "register",
+	"interrupt", "quantum", "critical", "section", "overhead", "latency",
+	"scheduler", "preemption", "recovery", "mechanism", "benchmark",
+}
+
+// GenerateDocument produces a deterministic document of paras paragraphs
+// with wordsPer words each.
+func GenerateDocument(paras, wordsPer int) string {
+	var b strings.Builder
+	x := uint32(0x9E3779B9)
+	for p := 0; p < paras; p++ {
+		for w := 0; w < wordsPer; w++ {
+			x ^= x << 13
+			x ^= x >> 17
+			x ^= x << 5
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(lexicon[x%uint32(len(lexicon))])
+		}
+		b.WriteString("\n\n")
+	}
+	return b.String()
+}
+
+// FillJustify greedily fills words into lines of at most width characters
+// and pads interior lines with distributed spaces so every line except a
+// paragraph's last is exactly width wide. It is a pure function; Run wraps
+// it with cycle charging and server I/O.
+func FillJustify(paragraph string, width int) []string {
+	words := strings.Fields(paragraph)
+	if len(words) == 0 {
+		return nil
+	}
+	var lines []string
+	start := 0
+	lineLen := len(words[0])
+	for i := 1; i <= len(words); i++ {
+		if i == len(words) {
+			lines = append(lines, strings.Join(words[start:], " "))
+			break
+		}
+		if lineLen+1+len(words[i]) > width {
+			lines = append(lines, justify(words[start:i], width))
+			start = i
+			lineLen = len(words[i])
+			continue
+		}
+		lineLen += 1 + len(words[i])
+	}
+	return lines
+}
+
+// justify pads words to exactly width by distributing spaces left-first.
+func justify(words []string, width int) string {
+	if len(words) == 1 {
+		return words[0]
+	}
+	total := 0
+	for _, w := range words {
+		total += len(w)
+	}
+	spaces := width - total
+	gaps := len(words) - 1
+	if spaces < gaps { // overlong words: fall back to single spacing
+		return strings.Join(words, " ")
+	}
+	base := spaces / gaps
+	extra := spaces % gaps
+	var b strings.Builder
+	for i, w := range words {
+		b.WriteString(w)
+		if i == gaps {
+			break
+		}
+		n := base
+		if i < extra {
+			n++
+		}
+		for j := 0; j < n; j++ {
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+// Run formats the document through the server.
+func Run(e *uniproc.Env, cfg Config) (Result, error) {
+	if cfg.Width == 0 {
+		cfg.Width = 72
+	}
+	if cfg.In == "" {
+		cfg.In = "/doc.txt"
+	}
+	if cfg.Out == "" {
+		cfg.Out = "/doc.out"
+	}
+	if cfg.Paragraphs > 0 {
+		doc := GenerateDocument(cfg.Paragraphs, cfg.WordsPerPara)
+		if err := cfg.Server.Create(e, cfg.In); err != nil {
+			return Result{}, err
+		}
+		if err := cfg.Server.WriteFile(e, cfg.In, []byte(doc)); err != nil {
+			return Result{}, err
+		}
+	}
+	raw, err := cfg.Server.ReadFile(e, cfg.In)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := cfg.Server.Create(e, cfg.Out); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{}
+	var page []byte
+	flush := func() error {
+		if len(page) == 0 {
+			return nil
+		}
+		if err := cfg.Server.Append(e, cfg.Out, page); err != nil {
+			return err
+		}
+		res.BytesOut += len(page)
+		page = page[:0]
+		return nil
+	}
+
+	for _, para := range strings.Split(string(raw), "\n\n") {
+		if strings.TrimSpace(para) == "" {
+			continue
+		}
+		res.Paragraphs++
+		e.ChargeALU(len(para)) // scanning/hyphenation work
+		lines := FillJustify(para, cfg.Width)
+		for _, line := range lines {
+			e.ChargeALU(len(line) / 2) // layout work
+			page = append(page, line...)
+			page = append(page, '\n')
+			res.Lines++
+			if len(page) >= 4096 { // page-sized writes, like a formatter
+				if err := flush(); err != nil {
+					return res, err
+				}
+			}
+		}
+		page = append(page, '\n')
+	}
+	if err := flush(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

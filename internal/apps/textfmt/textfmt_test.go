@@ -1,0 +1,166 @@
+package textfmt
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/memfs"
+	"repro/internal/uniproc"
+	"repro/internal/uxserver"
+)
+
+func TestFillJustifyBasics(t *testing.T) {
+	lines := FillJustify("aa bb cc dd ee ff", 8)
+	if len(lines) == 0 {
+		t.Fatal("no lines")
+	}
+	for i, l := range lines {
+		if len(l) > 8 {
+			t.Errorf("line %d overlong: %q", i, l)
+		}
+		if i < len(lines)-1 && len(l) != 8 {
+			t.Errorf("interior line %d not justified: %q (len %d)", i, l, len(l))
+		}
+	}
+}
+
+func TestFillJustifyPreservesWords(t *testing.T) {
+	text := "the quick brown fox jumps over the lazy dog again and again"
+	lines := FillJustify(text, 20)
+	got := strings.Fields(strings.Join(lines, " "))
+	want := strings.Fields(text)
+	if len(got) != len(want) {
+		t.Fatalf("word count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d: %q != %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFillJustifyEmpty(t *testing.T) {
+	if lines := FillJustify("   ", 10); lines != nil {
+		t.Errorf("blank paragraph produced %v", lines)
+	}
+}
+
+func TestFillJustifySingleWord(t *testing.T) {
+	lines := FillJustify("word", 10)
+	if len(lines) != 1 || lines[0] != "word" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestFillJustifyOverlongWord(t *testing.T) {
+	lines := FillJustify("supercalifragilistic a b", 10)
+	if len(lines) == 0 {
+		t.Fatal("no lines")
+	}
+	if lines[0] != "supercalifragilistic" {
+		t.Errorf("overlong word mishandled: %q", lines[0])
+	}
+}
+
+// Property: for generated documents, filling never reorders or loses words
+// and never exceeds the width (except unbreakable words).
+func TestQuickFillJustify(t *testing.T) {
+	f := func(seed uint8, w8 uint8) bool {
+		width := int(w8)%40 + 12
+		doc := GenerateDocument(1, int(seed)%50+1)
+		para := strings.TrimSpace(doc)
+		lines := FillJustify(para, width)
+		got := strings.Fields(strings.Join(lines, " "))
+		want := strings.Fields(para)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		for _, l := range lines {
+			if len(l) > width {
+				for _, word := range strings.Fields(l) {
+					if len(word) <= width {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateDocumentShape(t *testing.T) {
+	doc := GenerateDocument(3, 10)
+	paras := 0
+	for _, p := range strings.Split(doc, "\n\n") {
+		if strings.TrimSpace(p) != "" {
+			paras++
+		}
+	}
+	if paras != 3 {
+		t.Errorf("paragraphs = %d", paras)
+	}
+	if doc != GenerateDocument(3, 10) {
+		t.Error("not deterministic")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 8192, JitterSeed: 5})
+	pkg := cthreads.New(core.NewRAS())
+	s := uxserver.Start(p, pkg, memfs.New(pkg), 2)
+	var res Result
+	var runErr error
+	p.Go("formatter", func(e *uniproc.Env) {
+		res, runErr = Run(e, Config{
+			Server: s, Paragraphs: 6, WordsPerPara: 60, Width: 64,
+		})
+		if runErr == nil {
+			// The output file must exist and match BytesOut.
+			_, size, err := s.Stat(e, "/doc.out")
+			if err != nil || size != res.BytesOut {
+				t.Errorf("output: size=%d want=%d err=%v", size, res.BytesOut, err)
+			}
+		}
+		s.Shutdown(e)
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if res.Paragraphs != 6 {
+		t.Errorf("paragraphs = %d", res.Paragraphs)
+	}
+	if res.Lines == 0 || res.BytesOut == 0 {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestRunMissingInput(t *testing.T) {
+	p := uniproc.New(uniproc.Config{})
+	pkg := cthreads.New(core.NewRAS())
+	s := uxserver.Start(p, pkg, memfs.New(pkg), 1)
+	var runErr error
+	p.Go("formatter", func(e *uniproc.Env) {
+		_, runErr = Run(e, Config{Server: s, In: "/missing"})
+		s.Shutdown(e)
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr == nil {
+		t.Error("expected error for missing input")
+	}
+}

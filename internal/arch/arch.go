@@ -1,0 +1,289 @@
+// Package arch defines per-processor cost profiles for the simulated
+// uniprocessor.
+//
+// A Profile assigns cycle costs to instruction classes, to the
+// memory-interlocked synchronization instructions, and to kernel paths
+// (trap entry/exit, thread suspension, the RAS PC checks). The eight
+// profiles mirror the processors of the paper's Table 4; their parameters
+// are calibrated from the published measurements so that the *relative*
+// costs — which is what Table 4 is about — are preserved:
+//
+//   - CVAX, 486, 88000 and PA-RISC have interlocked instructions that are
+//     expensive relative to their plain loads/stores (bus locking, cache
+//     bypass), so restartable sequences win there;
+//   - 68030 and 386 have cheap-ish interlocked accesses but slow calls, so
+//     only the inlined designated sequence competes;
+//   - the i860 has its hardware lock bit (modelled by the lockb
+//     instruction).
+//
+// The R3000 profile models the DECstation 5000/200 used in Tables 1-3; it
+// has no interlocked instructions at all, and stores cost two cycles
+// (write-through cache with a shallow write buffer, §5.1).
+package arch
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Profile is a processor cost model. All costs are in CPU cycles.
+type Profile struct {
+	Name     string
+	ClockMHz float64 // processor clock; converts cycles to microseconds
+
+	// Per-class instruction costs.
+	ALUCycles    int
+	LoadCycles   int
+	StoreCycles  int
+	BranchCycles int
+	JumpCycles   int
+
+	// InterlockedCycles is the cost of one memory-interlocked
+	// read-modify-write instruction (tas/xchg/faa), excluding the ordinary
+	// store that releases the lock afterwards. Zero when HasInterlocked is
+	// false.
+	InterlockedCycles int
+	HasInterlocked    bool
+
+	// HasLockBit enables the i860-style lockb instruction: a hardware
+	// restartable sequence begun by lockb and ended by the next store, 32
+	// cycles, or an exception (§7).
+	HasLockBit     bool
+	LockBCycles    int // cost of the lockb instruction itself
+	LockBMaxCycles int // hardware window before the lock bit auto-clears
+
+	// Kernel path costs.
+	TrapEnterCycles int // user->kernel transition (syscall/fault)
+	TrapExitCycles  int // kernel->user transition
+	EmulTASCycles   int // kernel work for an emulated Test-And-Set
+	SuspendCycles   int // base thread-suspension path (scheduler, state save)
+	ResumeCycles    int // thread-resume path
+
+	// RAS check costs, added to suspension handling per §3.1/§3.2.
+	PCCheckRegistrationCycles int // compare PC against one registered range
+	PCCheckDesignatedCycles   int // two-stage opcode hash + landmark probe
+
+	// Write-buffer model for write-through caches (§5.1: "a scheme
+	// requiring several writes will not work well on a memory system with
+	// a write-through cache and a shallow write-buffer"). When
+	// WriteBufferDepth > 0, each store enqueues an entry that retires
+	// after WriteBufferDrainCycles; a store issued against a full buffer
+	// stalls the processor until a slot frees. Zero depth disables the
+	// model (stores cost StoreCycles flat).
+	WriteBufferDepth       int
+	WriteBufferDrainCycles int
+}
+
+// WithWriteBuffer returns a copy of p using the given write-buffer model.
+func (p *Profile) WithWriteBuffer(depth, drainCycles int) *Profile {
+	q := *p
+	q.WriteBufferDepth = depth
+	q.WriteBufferDrainCycles = drainCycles
+	return &q
+}
+
+// CyclesFor returns the cost of one instruction of the given class.
+// Interlocked instructions on a profile without hardware support are
+// reported as illegal by the machine, not priced here.
+func (p *Profile) CyclesFor(c isa.Class) int {
+	switch c {
+	case isa.ClassALU:
+		return p.ALUCycles
+	case isa.ClassLoad:
+		return p.LoadCycles
+	case isa.ClassStore:
+		return p.StoreCycles
+	case isa.ClassBranch:
+		return p.BranchCycles
+	case isa.ClassJump:
+		return p.JumpCycles
+	case isa.ClassTrap:
+		// The trap *instruction* costs one ALU slot; the kernel charges
+		// the trap entry/exit paths separately.
+		return p.ALUCycles
+	case isa.ClassInterlocked:
+		return p.InterlockedCycles
+	case isa.ClassLockB:
+		return p.LockBCycles
+	}
+	return p.ALUCycles
+}
+
+// Micros converts a cycle count to microseconds on this profile.
+func (p *Profile) Micros(cycles uint64) float64 {
+	return float64(cycles) / p.ClockMHz
+}
+
+// String implements fmt.Stringer.
+func (p *Profile) String() string {
+	return fmt.Sprintf("%s (%.1f MHz)", p.Name, p.ClockMHz)
+}
+
+// kernelDefaults fills in kernel path costs that are common across profiles
+// unless a profile overrides them.
+func kernelDefaults(p Profile) Profile {
+	if p.TrapEnterCycles == 0 {
+		p.TrapEnterCycles = 30
+	}
+	if p.TrapExitCycles == 0 {
+		p.TrapExitCycles = 25
+	}
+	if p.EmulTASCycles == 0 {
+		// "about 100 instructions" on the R3000 (§2.3); scale-free default.
+		p.EmulTASCycles = 45
+	}
+	if p.SuspendCycles == 0 {
+		// "already several hundred cycles long" (§3.1).
+		p.SuspendCycles = 400
+	}
+	if p.ResumeCycles == 0 {
+		p.ResumeCycles = 200
+	}
+	if p.PCCheckRegistrationCycles == 0 {
+		// "a few tens of cycles" (§3.1).
+		p.PCCheckRegistrationCycles = 20
+	}
+	if p.PCCheckDesignatedCycles == 0 {
+		// "about 2 usecs on a MIPS R3000" == ~50 cycles at 25 MHz (§3.2).
+		p.PCCheckDesignatedCycles = 50
+	}
+	if p.LockBMaxCycles == 0 {
+		p.LockBMaxCycles = 32
+	}
+	return p
+}
+
+// R3000 models the 25 MHz MIPS R3000 in the DECstation 5000/200: no
+// hardware atomic operations; single-cycle ALU/load/branch; two-cycle
+// stores (write-through cache).
+func R3000() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "MIPS R3000", ClockMHz: 25,
+		ALUCycles: 1, LoadCycles: 1, StoreCycles: 2, BranchCycles: 1, JumpCycles: 1,
+		HasInterlocked: false,
+	})
+	return &p
+}
+
+// CVAX models the DEC CVAX microprocessor.
+func CVAX() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "DEC CVAX", ClockMHz: 11.1,
+		ALUCycles: 2, LoadCycles: 4, StoreCycles: 4, BranchCycles: 3, JumpCycles: 3,
+		HasInterlocked: true, InterlockedCycles: 27,
+	})
+	return &p
+}
+
+// M68030 models the Motorola 68030.
+func M68030() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "Motorola 68030", ClockMHz: 25,
+		ALUCycles: 3, LoadCycles: 6, StoreCycles: 6, BranchCycles: 5, JumpCycles: 10,
+		HasInterlocked: true, InterlockedCycles: 22,
+	})
+	return &p
+}
+
+// I386 models the Intel 386.
+func I386() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "Intel 386", ClockMHz: 25,
+		ALUCycles: 2, LoadCycles: 4, StoreCycles: 4, BranchCycles: 4, JumpCycles: 9,
+		HasInterlocked: true, InterlockedCycles: 21,
+	})
+	return &p
+}
+
+// I486 models the Intel 486.
+func I486() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "Intel 486", ClockMHz: 33,
+		ALUCycles: 1, LoadCycles: 2, StoreCycles: 2, BranchCycles: 2, JumpCycles: 5,
+		HasInterlocked: true, InterlockedCycles: 21,
+	})
+	return &p
+}
+
+// I860 models the Intel i860, including its hardware lock bit.
+func I860() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "Intel 860", ClockMHz: 40,
+		ALUCycles: 1, LoadCycles: 2, StoreCycles: 1, BranchCycles: 2, JumpCycles: 4,
+		HasInterlocked: true, InterlockedCycles: 11,
+		// The lock instruction disables interrupts and locks the bus, so
+		// it is far from free; the paper's Table 4 prices the i860's
+		// hardware path at 0.3us — barely ahead of plain software.
+		HasLockBit: true, LockBCycles: 7,
+	})
+	return &p
+}
+
+// M88000 models the Motorola 88000, whose xmem bypasses the on-chip cache.
+func M88000() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "Motorola 88000", ClockMHz: 25,
+		ALUCycles: 1, LoadCycles: 1, StoreCycles: 1, BranchCycles: 1, JumpCycles: 1,
+		HasInterlocked: true, InterlockedCycles: 21,
+	})
+	return &p
+}
+
+// SPARC models the Sun SPARC.
+func SPARC() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "Sun SPARC", ClockMHz: 25,
+		ALUCycles: 1, LoadCycles: 2, StoreCycles: 5, BranchCycles: 2, JumpCycles: 4,
+		HasInterlocked: true, InterlockedCycles: 15,
+	})
+	return &p
+}
+
+// PA models the HP 9000 Series 700 (PA-RISC), whose ldcws bypasses the
+// cache, making the interlocked path dramatically slower than plain code.
+func PA() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "HP 9000/700", ClockMHz: 66,
+		ALUCycles: 1, LoadCycles: 1, StoreCycles: 1, BranchCycles: 1, JumpCycles: 2,
+		HasInterlocked: true, InterlockedCycles: 61,
+	})
+	return &p
+}
+
+// Table4 returns the eight processors of the paper's Table 4, in paper
+// order.
+func Table4() []*Profile {
+	return []*Profile{CVAX(), M68030(), I386(), I486(), I860(), M88000(), SPARC(), PA()}
+}
+
+// ByName returns the profile with the given name (case-sensitive match on
+// either the full name or a short alias), or nil.
+func ByName(name string) *Profile {
+	switch name {
+	case "r3000", "MIPS R3000", "decstation":
+		return R3000()
+	case "cvax", "DEC CVAX":
+		return CVAX()
+	case "68030", "m68030", "Motorola 68030":
+		return M68030()
+	case "386", "i386", "Intel 386":
+		return I386()
+	case "486", "i486", "Intel 486":
+		return I486()
+	case "860", "i860", "Intel 860":
+		return I860()
+	case "88000", "m88000", "Motorola 88000":
+		return M88000()
+	case "sparc", "Sun SPARC":
+		return SPARC()
+	case "pa", "hp700", "HP 9000/700":
+		return PA()
+	}
+	return nil
+}
+
+// Names lists the short aliases accepted by ByName, in a stable order.
+func Names() []string {
+	return []string{"r3000", "cvax", "68030", "386", "486", "860", "88000", "sparc", "pa"}
+}

@@ -1,0 +1,76 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// FuzzAssemble: the assembler must never panic — any input yields either a
+// program or a positioned error. The seed corpus covers every syntactic
+// construct; `go test` runs the seeds, `go test -fuzz=FuzzAssemble`
+// explores further.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"nop",
+		"main:\n\tlw v0, 0(a0)\n\tsw v0, 4(a0)\n\tjr ra",
+		".data\nx: .word 1, 2, 3\n.space 8",
+		".equ K, 5\nli t0, K",
+		"label with spaces: nop",
+		"\tadd t0, t1",
+		"beq t0, t1, nowhere",
+		"lw t0, 99999(a0)",
+		".align 31",
+		"li t0, 0xFFFFFFFF",
+		"x::\nnop",
+		"# only a comment",
+		"\x00\x01\x02",
+		"jal 0x1000\nsyscall\nbreak\nlandmark\nlockb",
+		"tas v0, 0(a0)\nxchg t0, 0(a0)\nfaa t1, 0(a1)",
+		strings.Repeat("nop\n", 100),
+		".word 5",
+		"addi t0, t0, -32768\naddi t0, t0, 32767",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble(src)
+		if err == nil && p == nil {
+			t.Fatal("nil program without error")
+		}
+		if err != nil && p != nil {
+			t.Fatal("program and error both returned")
+		}
+		if p != nil {
+			// Anything that assembles must disassemble without panicking.
+			_ = Disassemble(p)
+		}
+	})
+}
+
+// FuzzDecode: decoding any 32-bit word must not panic, and defined opcodes
+// must round trip through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(isa.Encode(isa.Landmark()))
+	f.Add(isa.Encode(isa.Lw(2, 4, -4)))
+	f.Add(uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		inst := isa.Decode(w)
+		_ = inst.String()
+		_ = isa.Mnemonic(inst)
+		_ = isa.ClassOf(inst)
+		switch inst.Op {
+		case isa.OpSpecial, isa.OpJ, isa.OpJAL, isa.OpBEQ, isa.OpBNE,
+			isa.OpBLEZ, isa.OpBGTZ, isa.OpADDI, isa.OpSLTI, isa.OpSLTIU,
+			isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpLUI, isa.OpLW,
+			isa.OpSW, isa.OpTAS, isa.OpXCHG, isa.OpFAA, isa.OpLOCKB:
+			if isa.Encode(inst) != w {
+				t.Fatalf("round trip failed for %#x (%v)", w, inst)
+			}
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package cthreads_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/uniproc"
+)
+
+// ExampleMutex shows the C-Threads relinquishing mutex: a thread that
+// finds it held blocks instead of spinning.
+func ExampleMutex() {
+	proc := uniproc.New(uniproc.Config{})
+	pkg := cthreads.New(core.NewRAS())
+	mu := pkg.NewMutex()
+	shared := 0
+	proc.Go("a", func(e *uniproc.Env) {
+		mu.Lock(e)
+		e.ChargeALU(500) // long critical section
+		shared++
+		mu.Unlock(e)
+	})
+	proc.Go("b", func(e *uniproc.Env) {
+		mu.Lock(e) // blocks until a releases
+		shared++
+		mu.Unlock(e)
+	})
+	if err := proc.Run(); err != nil {
+		fmt.Println(err)
+	}
+	fmt.Println("shared:", shared)
+	// Output:
+	// shared: 2
+}
+
+// ExamplePkg_Fork shows fork/join, the paper's ForkTest primitive.
+func ExamplePkg_Fork() {
+	proc := uniproc.New(uniproc.Config{})
+	pkg := cthreads.New(core.NewRAS())
+	proc.Go("parent", func(e *uniproc.Env) {
+		h := pkg.Fork(e, "child", func(e *uniproc.Env) {
+			fmt.Println("child ran")
+		})
+		h.Join(e)
+		fmt.Println("joined")
+	})
+	if err := proc.Run(); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// child ran
+	// joined
+}
+
+// ExampleSemaphore shows Dijkstra's P/V.
+func ExampleSemaphore() {
+	proc := uniproc.New(uniproc.Config{})
+	pkg := cthreads.New(core.NewRAS())
+	sem := pkg.NewSemaphore(0)
+	proc.Go("waiter", func(e *uniproc.Env) {
+		sem.P(e)
+		fmt.Println("resumed after V")
+	})
+	proc.Go("poster", func(e *uniproc.Env) {
+		fmt.Println("posting")
+		sem.V(e)
+	})
+	if err := proc.Run(); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// posting
+	// resumed after V
+}

@@ -1,0 +1,124 @@
+package cthreads
+
+import "repro/internal/uniproc"
+
+// Once runs an initialization function exactly once, no matter how many
+// threads race to trigger it; later callers block until the first caller
+// has finished.
+type Once struct {
+	mu   *Mutex
+	done Word
+}
+
+// NewOnce creates a Once.
+func (p *Pkg) NewOnce() *Once {
+	return &Once{mu: p.NewMutex()}
+}
+
+// Do runs fn if and only if no previous Do on this Once has run it.
+func (o *Once) Do(e *uniproc.Env, fn func(*uniproc.Env)) {
+	if e.Load(&o.done) != 0 { // fast path: a word read is atomic
+		return
+	}
+	o.mu.Lock(e)
+	if e.Load(&o.done) == 0 {
+		fn(e)
+		e.Store(&o.done, 1)
+	}
+	o.mu.Unlock(e)
+}
+
+// Barrier blocks threads until a fixed number have arrived, then releases
+// them all together. Reusable across generations.
+type Barrier struct {
+	mu      *Mutex
+	cond    *Cond
+	needed  int
+	arrived int
+	gen     Word
+}
+
+// NewBarrier creates a barrier for n threads.
+func (p *Pkg) NewBarrier(n int) *Barrier {
+	return &Barrier{mu: p.NewMutex(), cond: p.NewCond(), needed: n}
+}
+
+// Wait blocks until n threads have called Wait for the current generation.
+// It reports whether the caller was the last arrival (the "serial" thread).
+func (b *Barrier) Wait(e *uniproc.Env) bool {
+	b.mu.Lock(e)
+	gen := e.Load(&b.gen)
+	b.arrived++
+	e.ChargeALU(2)
+	if b.arrived == b.needed {
+		b.arrived = 0
+		e.Store(&b.gen, gen+1)
+		b.cond.Broadcast(e)
+		b.mu.Unlock(e)
+		return true
+	}
+	for e.Load(&b.gen) == gen {
+		b.cond.Wait(e, b.mu)
+	}
+	b.mu.Unlock(e)
+	return false
+}
+
+// RWLock is a readers-writer lock: any number of concurrent readers, or
+// one writer. Writers take priority over newly arriving readers to avoid
+// writer starvation.
+type RWLock struct {
+	mu            *Mutex
+	readersDone   *Cond
+	writerDone    *Cond
+	readers       Word
+	writerActive  Word
+	writersQueued Word
+}
+
+// NewRWLock creates an unlocked readers-writer lock.
+func (p *Pkg) NewRWLock() *RWLock {
+	return &RWLock{mu: p.NewMutex(), readersDone: p.NewCond(), writerDone: p.NewCond()}
+}
+
+// RLock acquires the lock for reading.
+func (l *RWLock) RLock(e *uniproc.Env) {
+	l.mu.Lock(e)
+	for e.Load(&l.writerActive) != 0 || e.Load(&l.writersQueued) != 0 {
+		l.writerDone.Wait(e, l.mu)
+	}
+	e.Store(&l.readers, e.Load(&l.readers)+1)
+	l.mu.Unlock(e)
+}
+
+// RUnlock releases a read acquisition.
+func (l *RWLock) RUnlock(e *uniproc.Env) {
+	l.mu.Lock(e)
+	r := e.Load(&l.readers)
+	e.Store(&l.readers, r-1)
+	if r == 1 {
+		l.readersDone.Broadcast(e)
+	}
+	l.mu.Unlock(e)
+}
+
+// Lock acquires the lock for writing.
+func (l *RWLock) Lock(e *uniproc.Env) {
+	l.mu.Lock(e)
+	e.Store(&l.writersQueued, e.Load(&l.writersQueued)+1)
+	for e.Load(&l.readers) != 0 || e.Load(&l.writerActive) != 0 {
+		l.readersDone.Wait(e, l.mu)
+	}
+	e.Store(&l.writersQueued, e.Load(&l.writersQueued)-1)
+	e.Store(&l.writerActive, 1)
+	l.mu.Unlock(e)
+}
+
+// Unlock releases a write acquisition.
+func (l *RWLock) Unlock(e *uniproc.Env) {
+	l.mu.Lock(e)
+	e.Store(&l.writerActive, 0)
+	l.readersDone.Broadcast(e)
+	l.writerDone.Broadcast(e)
+	l.mu.Unlock(e)
+}

@@ -1,0 +1,211 @@
+package cthreads
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/uniproc"
+)
+
+func TestOnceRunsExactlyOnce(t *testing.T) {
+	p := newProc(311)
+	pkg := New(core.NewRAS())
+	once := pkg.NewOnce()
+	runs := 0
+	const n = 6
+	for i := 0; i < n; i++ {
+		p.Go("caller", func(e *uniproc.Env) {
+			once.Do(e, func(e *uniproc.Env) {
+				e.ChargeALU(500) // long init: others must wait, not re-run
+				runs++
+			})
+			if runs != 1 {
+				t.Error("Do returned before initialization completed")
+			}
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("init ran %d times", runs)
+	}
+}
+
+func TestOnceFastPathAfterDone(t *testing.T) {
+	p := newProc(50000)
+	pkg := New(core.NewRAS())
+	once := pkg.NewOnce()
+	p.Go("main", func(e *uniproc.Env) {
+		once.Do(e, func(e *uniproc.Env) {})
+		before := p.Stats.Blocks
+		for i := 0; i < 100; i++ {
+			once.Do(e, func(e *uniproc.Env) { t.Error("re-ran") })
+		}
+		if p.Stats.Blocks != before {
+			t.Error("fast path blocked")
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	const n = 5
+	p := newProc(50000)
+	pkg := New(core.NewRAS())
+	bar := pkg.NewBarrier(n)
+	arrived, released, serials := 0, 0, 0
+	for i := 0; i < n; i++ {
+		p.Go("worker", func(e *uniproc.Env) {
+			arrived++
+			if bar.Wait(e) {
+				serials++
+			}
+			if arrived != n {
+				t.Error("released before all arrived")
+			}
+			released++
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != n || serials != 1 {
+		t.Errorf("released=%d serials=%d", released, serials)
+	}
+}
+
+func TestBarrierReusableAcrossGenerations(t *testing.T) {
+	const n, rounds = 3, 4
+	p := newProc(977)
+	pkg := New(core.NewRAS())
+	bar := pkg.NewBarrier(n)
+	phase := make([]int, n)
+	for i := 0; i < n; i++ {
+		id := i
+		p.Go("worker", func(e *uniproc.Env) {
+			for r := 0; r < rounds; r++ {
+				phase[id] = r
+				bar.Wait(e)
+				// After the barrier, everyone must be in the same round.
+				for j := 0; j < n; j++ {
+					if phase[j] != r {
+						t.Errorf("round %d: thread %d at %d", r, j, phase[j])
+					}
+				}
+				bar.Wait(e) // second barrier so nobody races ahead
+			}
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRWLockManyReaders(t *testing.T) {
+	const n = 5
+	p := newProc(50000)
+	pkg := New(core.NewRAS())
+	rw := pkg.NewRWLock()
+	inside, maxInside := 0, 0
+	for i := 0; i < n; i++ {
+		p.Go("reader", func(e *uniproc.Env) {
+			rw.RLock(e)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			e.Yield() // let other readers in
+			inside--
+			rw.RUnlock(e)
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside < 2 {
+		t.Errorf("readers never overlapped (max %d)", maxInside)
+	}
+}
+
+func TestRWLockWriterExcludes(t *testing.T) {
+	p := newProc(211)
+	pkg := New(core.NewRAS())
+	rw := pkg.NewRWLock()
+	var data, mismatches int
+	const writers, readers, iters = 2, 3, 60
+	for i := 0; i < writers; i++ {
+		p.Go("writer", func(e *uniproc.Env) {
+			for it := 0; it < iters; it++ {
+				rw.Lock(e)
+				data++
+				e.ChargeALU(40)
+				data++ // readers must never see odd data
+				rw.Unlock(e)
+			}
+		})
+	}
+	for i := 0; i < readers; i++ {
+		p.Go("reader", func(e *uniproc.Env) {
+			for it := 0; it < iters; it++ {
+				rw.RLock(e)
+				if data%2 != 0 {
+					mismatches++
+				}
+				e.ChargeALU(10)
+				rw.RUnlock(e)
+			}
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mismatches != 0 {
+		t.Errorf("readers saw %d torn writes", mismatches)
+	}
+	if data != 2*writers*iters {
+		t.Errorf("data = %d, want %d", data, 2*writers*iters)
+	}
+}
+
+func TestRWLockWriterNotStarved(t *testing.T) {
+	// A stream of readers must not starve a queued writer: writer priority
+	// means the writer gets in after the current readers drain.
+	p := newProc(50000)
+	pkg := New(core.NewRAS())
+	rw := pkg.NewRWLock()
+	writerDone := false
+	readsAfterWriterQueued := 0
+	p.Go("setup", func(e *uniproc.Env) {
+		rw.RLock(e)
+		pkg.Fork(e, "writer", func(e *uniproc.Env) {
+			rw.Lock(e)
+			writerDone = true
+			rw.Unlock(e)
+		})
+		for i := 0; i < 3; i++ {
+			pkg.Fork(e, "late-reader", func(e *uniproc.Env) {
+				e.Yield() // arrive after the writer queues
+				rw.RLock(e)
+				if !writerDone {
+					readsAfterWriterQueued++
+				}
+				rw.RUnlock(e)
+			})
+		}
+		e.Yield()
+		e.Yield()
+		rw.RUnlock(e) // release the initial read hold
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !writerDone {
+		t.Fatal("writer never ran")
+	}
+	if readsAfterWriterQueued != 0 {
+		t.Errorf("%d late readers jumped the queued writer", readsAfterWriterQueued)
+	}
+}

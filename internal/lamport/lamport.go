@@ -1,0 +1,162 @@
+// Package lamport implements software reservation for mutual exclusion
+// using Lamport's fast mutual exclusion algorithm, in the two forms the
+// paper evaluates (§2.2, §5.1):
+//
+//   - DirectLock — "protocol (a)": each lock is a full Lamport structure
+//     (an owner word x, a reservation word y, and a boolean per thread).
+//     This is the most direct implementation of the paper's Figure 1, and
+//     it pays the O(n × locks) storage cost the paper complains about; it
+//     also recomputes the calling thread's identity (and the address of
+//     its "busy" bit) on both entry and exit.
+//
+//   - Meta — "protocol (b)": a single "meta-atomic object" — one global
+//     Lamport lock — guards all regular atomic objects. The paper's
+//     Figure 2 bundles a Test-And-Set inside the Lamport entry/exit; a
+//     regular lock then costs one bit, but all atomic operations
+//     serialize through the meta object, and the thread identity is
+//     computed only on entry.
+//
+// All waiting is done by yielding the processor, the only sensible await
+// on a uniprocessor (§2.2).
+package lamport
+
+import (
+	"fmt"
+
+	"repro/internal/uniproc"
+)
+
+// Word aliases the simulated memory word.
+type Word = uniproc.Word
+
+// selfCycles models the cost of computing the calling thread's unique
+// identifier and the address of its busy bit (cthread_self on the
+// DECstation): the cost that makes protocol (a) slower than protocol (b)
+// despite fewer memory accesses (§5.1). A dedicated per-thread hardware
+// register "would reverse this disparity".
+const selfCycles = 7
+
+// DirectLock is protocol (a): a per-lock Lamport fast mutual exclusion
+// structure for up to n threads. Thread IDs are the uniproc thread IDs and
+// must be < n.
+type DirectLock struct {
+	n int
+	x Word   // reservation: last thread to register intent
+	y Word   // ownership: holder + 1, or 0 when free
+	b []Word // per-thread busy flags, indexed by thread ID + 1
+}
+
+// NewDirectLock creates a lock usable by threads with IDs 0..n-1.
+func NewDirectLock(n int) *DirectLock {
+	return &DirectLock{n: n, b: make([]Word, n+1)}
+}
+
+// Name implements core.Locker.
+func (l *DirectLock) Name() string { return "lamport-a" }
+
+// id returns the 1-based Lamport identifier for the calling thread,
+// charging the identity-computation cost.
+func (l *DirectLock) id(e *uniproc.Env) int {
+	e.ChargeALU(selfCycles)
+	i := e.Self().ID + 1
+	if i > l.n {
+		panic(fmt.Sprintf("lamport: thread ID %d exceeds lock capacity %d", i-1, l.n))
+	}
+	return i
+}
+
+// Acquire implements core.Locker with the paper's Figure 1 (lines 1-18).
+func (l *DirectLock) Acquire(e *uniproc.Env) {
+	i := l.id(e)
+	l.enter(e, i)
+}
+
+// enter runs the Figure 1 entry protocol for 1-based identifier i.
+func (l *DirectLock) enter(e *uniproc.Env, i int) {
+	w := Word(i)
+	bi := &l.b[i]
+	for {
+		e.Store(bi, 1) // b[i] := true
+		e.Store(&l.x, w)
+		if e.Load(&l.y) != 0 { // contention
+			e.Store(bi, 0)
+			for e.Load(&l.y) != 0 {
+				e.Yield() // await (y = 0)
+			}
+			continue // goto start
+		}
+		e.Store(&l.y, w)
+		if e.Load(&l.x) != w { // collision
+			e.Store(bi, 0)
+			for j := 1; j <= l.n; j++ {
+				for e.Load(&l.b[j]) != 0 {
+					e.Yield() // await (b[j] = false)
+				}
+			}
+			if e.Load(&l.y) != w {
+				for e.Load(&l.y) != 0 {
+					e.Yield() // await (y = 0)
+				}
+				continue // goto start
+			}
+		}
+		return // critical section
+	}
+}
+
+// Release implements core.Locker with Figure 1 lines 21-22. Protocol (a)
+// recomputes the thread identity on exit.
+func (l *DirectLock) Release(e *uniproc.Env) {
+	i := l.id(e)
+	l.exit(e, i)
+}
+
+// exit runs the Figure 1 exit protocol.
+func (l *DirectLock) exit(e *uniproc.Env, i int) {
+	e.Store(&l.y, 0)
+	e.Store(&l.b[i], 0)
+}
+
+// Meta is protocol (b): one Lamport meta-lock guarding all regular atomic
+// objects. It implements core.Mechanism, so any number of one-word
+// Test-And-Set locks can share it.
+type Meta struct {
+	inner *DirectLock
+}
+
+// NewMeta creates the meta-atomic object for up to n threads.
+func NewMeta(n int) *Meta {
+	return &Meta{inner: NewDirectLock(n)}
+}
+
+// Name implements core.Mechanism.
+func (m *Meta) Name() string { return "lamport-b" }
+
+// TestAndSet implements core.Mechanism with the paper's Figure 2: the
+// reservation protocol brackets a plain read-modify-write of the user's
+// word. The thread identity is computed once, on entry.
+func (m *Meta) TestAndSet(e *uniproc.Env, w *Word) Word {
+	i := m.inner.id(e)
+	m.inner.enter(e, i)
+	old := e.Load(w)
+	e.ChargeALU(1)
+	e.Store(w, 1)
+	m.inner.exit(e, i)
+	return old
+}
+
+// Clear implements core.Mechanism (Figure 2's AtomicClear: a plain store).
+func (m *Meta) Clear(e *uniproc.Env, w *Word) {
+	e.Store(w, 0)
+}
+
+// FetchAndAdd implements core.Mechanism under the meta lock.
+func (m *Meta) FetchAndAdd(e *uniproc.Env, w *Word, delta Word) Word {
+	i := m.inner.id(e)
+	m.inner.enter(e, i)
+	old := e.Load(w)
+	e.ChargeALU(1)
+	e.Store(w, old+delta)
+	m.inner.exit(e, i)
+	return old
+}

@@ -1,0 +1,222 @@
+package lamport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/uniproc"
+)
+
+// Interface conformance.
+var (
+	_ core.Locker    = (*DirectLock)(nil)
+	_ core.Mechanism = (*Meta)(nil)
+)
+
+// directWorkload runs n threads incrementing a counter inside a DirectLock
+// critical section, also asserting mutual exclusion with an occupancy flag.
+func directWorkload(q, seed uint64, n, iters int) (Word, bool, error) {
+	p := uniproc.New(uniproc.Config{Quantum: q, JitterSeed: seed})
+	l := NewDirectLock(n)
+	var counter Word
+	violated := false
+	inCS := false
+	for i := 0; i < n; i++ {
+		p.Go("worker", func(e *uniproc.Env) {
+			for it := 0; it < iters; it++ {
+				l.Acquire(e)
+				if inCS {
+					violated = true
+				}
+				inCS = true
+				v := e.Load(&counter)
+				e.ChargeALU(3)
+				e.Store(&counter, v+1)
+				inCS = false
+				l.Release(e)
+				e.ChargeALU(2)
+			}
+		})
+	}
+	err := p.Run()
+	return counter, violated, err
+}
+
+func TestDirectLockMutualExclusion(t *testing.T) {
+	const n, iters = 4, 150
+	for _, q := range []uint64{17, 53, 211, 997, 50000} {
+		got, violated, err := directWorkload(q, 0, n, iters)
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if violated {
+			t.Errorf("q=%d: two threads in the critical section", q)
+		}
+		if got != n*iters {
+			t.Errorf("q=%d: counter = %d, want %d", q, got, n*iters)
+		}
+	}
+}
+
+// Property: mutual exclusion holds for arbitrary quantum and jitter.
+func TestQuickDirectLock(t *testing.T) {
+	f := func(q16 uint16, seed uint64) bool {
+		q := uint64(q16)%600 + 11
+		got, violated, err := directWorkload(q, seed, 3, 60)
+		return err == nil && !violated && got == 180
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetaMechanism(t *testing.T) {
+	const n, iters = 4, 150
+	for _, q := range []uint64{19, 61, 223, 50000} {
+		p := uniproc.New(uniproc.Config{Quantum: q})
+		m := NewMeta(n)
+		lock := core.NewTASLock(m)
+		var counter Word
+		for i := 0; i < n; i++ {
+			p.Go("worker", func(e *uniproc.Env) {
+				for it := 0; it < iters; it++ {
+					lock.Acquire(e)
+					v := e.Load(&counter)
+					e.ChargeALU(1)
+					e.Store(&counter, v+1)
+					lock.Release(e)
+				}
+			})
+		}
+		if err := p.Run(); err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if counter != n*iters {
+			t.Errorf("q=%d: counter = %d, want %d", q, counter, n*iters)
+		}
+	}
+}
+
+func TestMetaSerializesUnrelatedLocks(t *testing.T) {
+	// Two unrelated TAS locks sharing the meta object: both must stay
+	// correct even when used concurrently (the bundling serializes them).
+	p := uniproc.New(uniproc.Config{Quantum: 73})
+	m := NewMeta(4)
+	lockA := core.NewTASLock(m)
+	lockB := core.NewTASLock(m)
+	var ca, cb Word
+	const iters = 100
+	for i := 0; i < 2; i++ {
+		p.Go("a", func(e *uniproc.Env) {
+			for it := 0; it < iters; it++ {
+				lockA.Acquire(e)
+				v := e.Load(&ca)
+				e.Store(&ca, v+1)
+				lockA.Release(e)
+			}
+		})
+		p.Go("b", func(e *uniproc.Env) {
+			for it := 0; it < iters; it++ {
+				lockB.Acquire(e)
+				v := e.Load(&cb)
+				e.Store(&cb, v+1)
+				lockB.Release(e)
+			}
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ca != 2*iters || cb != 2*iters {
+		t.Errorf("counters = %d,%d want %d", ca, cb, 2*iters)
+	}
+}
+
+func TestMetaFetchAndAdd(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 41})
+	m := NewMeta(3)
+	var w Word
+	const n, iters = 3, 80
+	for i := 0; i < n; i++ {
+		p.Go("adder", func(e *uniproc.Env) {
+			for j := 0; j < iters; j++ {
+				m.FetchAndAdd(e, &w, 2)
+			}
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w != n*iters*2 {
+		t.Errorf("w = %d, want %d", w, n*iters*2)
+	}
+}
+
+func TestMetaClear(t *testing.T) {
+	p := uniproc.New(uniproc.Config{})
+	m := NewMeta(1)
+	var w Word = 1
+	p.Go("main", func(e *uniproc.Env) { m.Clear(e, &w) })
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w != 0 {
+		t.Error("clear did not clear")
+	}
+}
+
+func TestDirectLockCapacityPanics(t *testing.T) {
+	p := uniproc.New(uniproc.Config{})
+	l := NewDirectLock(1)
+	p.Go("a", func(e *uniproc.Env) {
+		e.Fork("b", func(e *uniproc.Env) {
+			l.Acquire(e) // thread ID 1 -> Lamport id 2 > capacity 1
+		})
+	})
+	if err := p.Run(); err == nil {
+		t.Error("expected capacity panic")
+	}
+}
+
+// Protocol (a) must cost more cycles than protocol (b) on the DECstation
+// profile because of the double identity computation (§5.1, Table 1:
+// 1.51 vs 1.16 us).
+func TestProtocolAMoreExpensiveThanB(t *testing.T) {
+	run := func(useMeta bool) uint64 {
+		p := uniproc.New(uniproc.Config{Quantum: 1 << 40})
+		var counter Word
+		var lock core.Locker
+		if useMeta {
+			lock = core.NewTASLock(NewMeta(2))
+		} else {
+			lock = NewDirectLock(2)
+		}
+		p.Go("main", func(e *uniproc.Env) {
+			for i := 0; i < 1000; i++ {
+				lock.Acquire(e)
+				v := e.Load(&counter)
+				e.ChargeALU(1)
+				e.Store(&counter, v+1)
+				lock.Release(e)
+			}
+		})
+		if err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Clock()
+	}
+	a, b := run(false), run(true)
+	if a <= b {
+		t.Errorf("protocol a (%d cycles) not slower than protocol b (%d)", a, b)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewDirectLock(1).Name() != "lamport-a" {
+		t.Error("direct lock name")
+	}
+	if NewMeta(1).Name() != "lamport-b" {
+		t.Error("meta name")
+	}
+}

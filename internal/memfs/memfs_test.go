@@ -1,0 +1,267 @@
+package memfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/uniproc"
+)
+
+// run executes fn as a single thread on a fresh processor and fs.
+func run(t *testing.T, fn func(e *uniproc.Env, fs *FS)) *FS {
+	t.Helper()
+	p := uniproc.New(uniproc.Config{})
+	fs := New(cthreads.New(core.NewRAS()))
+	p.Go("main", func(e *uniproc.Env) { fn(e, fs) })
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs := run(t, func(e *uniproc.Env, fs *FS) {
+		if err := fs.Create(e, "/a.txt"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.WriteFile(e, "/a.txt", []byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadFile(e, "/a.txt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != "hello" {
+			t.Errorf("read %q", got)
+		}
+	})
+	if fs.Stats.Creates != 1 || fs.Stats.Writes != 1 || fs.Stats.Reads != 1 {
+		t.Errorf("stats = %+v", fs.Stats)
+	}
+}
+
+func TestMkdirNesting(t *testing.T) {
+	run(t, func(e *uniproc.Env, fs *FS) {
+		for _, d := range []string{"/a", "/a/b", "/a/b/c"} {
+			if err := fs.Mkdir(e, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := fs.Create(e, "/a/b/c/f"); err != nil {
+			t.Fatal(err)
+		}
+		isDir, _, err := fs.Stat(e, "/a/b")
+		if err != nil || !isDir {
+			t.Errorf("stat /a/b: %v %v", isDir, err)
+		}
+		isDir, size, err := fs.Stat(e, "/a/b/c/f")
+		if err != nil || isDir || size != 0 {
+			t.Errorf("stat file: %v %d %v", isDir, size, err)
+		}
+	})
+}
+
+func TestAppend(t *testing.T) {
+	run(t, func(e *uniproc.Env, fs *FS) {
+		fs.Create(e, "/log")
+		fs.Append(e, "/log", []byte("one"))
+		fs.Append(e, "/log", []byte("two"))
+		got, _ := fs.ReadFile(e, "/log")
+		if string(got) != "onetwo" {
+			t.Errorf("got %q", got)
+		}
+	})
+}
+
+func TestReadAt(t *testing.T) {
+	run(t, func(e *uniproc.Env, fs *FS) {
+		fs.Create(e, "/f")
+		fs.WriteFile(e, "/f", []byte("0123456789"))
+		buf := make([]byte, 4)
+		n, err := fs.ReadAt(e, "/f", 3, buf)
+		if err != nil || n != 4 || string(buf) != "3456" {
+			t.Errorf("ReadAt = %d %q %v", n, buf, err)
+		}
+		n, err = fs.ReadAt(e, "/f", 8, buf)
+		if err != nil || n != 2 || string(buf[:n]) != "89" {
+			t.Errorf("tail ReadAt = %d %q %v", n, buf[:n], err)
+		}
+		n, err = fs.ReadAt(e, "/f", 100, buf)
+		if err != nil || n != 0 {
+			t.Errorf("eof ReadAt = %d %v", n, err)
+		}
+	})
+}
+
+func TestReadDirSorted(t *testing.T) {
+	run(t, func(e *uniproc.Env, fs *FS) {
+		fs.Mkdir(e, "/d")
+		for _, f := range []string{"zeta", "alpha", "mid"} {
+			fs.Create(e, "/d/"+f)
+		}
+		names, err := fs.ReadDir(e, "/d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []string{"alpha", "mid", "zeta"}
+		if len(names) != 3 {
+			t.Fatalf("names = %v", names)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				t.Fatalf("names = %v, want %v", names, want)
+			}
+		}
+	})
+}
+
+func TestRemove(t *testing.T) {
+	run(t, func(e *uniproc.Env, fs *FS) {
+		fs.Mkdir(e, "/d")
+		fs.Create(e, "/d/f")
+		if err := fs.Remove(e, "/d"); !errors.Is(err, ErrDirNotEmpty) {
+			t.Errorf("remove non-empty dir: %v", err)
+		}
+		if err := fs.Remove(e, "/d/f"); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Remove(e, "/d"); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := fs.Stat(e, "/d"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("stat after remove: %v", err)
+		}
+	})
+}
+
+func TestErrors(t *testing.T) {
+	run(t, func(e *uniproc.Env, fs *FS) {
+		if _, err := fs.ReadFile(e, "/nope"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("read missing: %v", err)
+		}
+		if err := fs.Create(e, "bad"); !errors.Is(err, ErrBadPath) {
+			t.Errorf("relative path: %v", err)
+		}
+		if err := fs.Create(e, "/a/../b"); !errors.Is(err, ErrBadPath) {
+			t.Errorf("dotdot path: %v", err)
+		}
+		fs.Create(e, "/f")
+		if err := fs.Create(e, "/f"); !errors.Is(err, ErrExists) {
+			t.Errorf("duplicate create: %v", err)
+		}
+		if err := fs.Create(e, "/f/x"); !errors.Is(err, ErrNotDir) {
+			t.Errorf("file as dir: %v", err)
+		}
+		if _, err := fs.ReadFile(e, "/"); !errors.Is(err, ErrIsDir) {
+			t.Errorf("read dir: %v", err)
+		}
+		if err := fs.WriteFile(e, "/", nil); !errors.Is(err, ErrIsDir) {
+			t.Errorf("write dir: %v", err)
+		}
+		if _, err := fs.ReadDir(e, "/f"); !errors.Is(err, ErrNotDir) {
+			t.Errorf("readdir file: %v", err)
+		}
+		if _, err := fs.ReadFile(e, "/missingdir/f"); !errors.Is(err, ErrNotFound) {
+			t.Errorf("missing dir: %v", err)
+		}
+	})
+}
+
+func TestConcurrentWritersDistinctFiles(t *testing.T) {
+	const n, iters = 4, 40
+	p := uniproc.New(uniproc.Config{Quantum: 311, JitterSeed: 9})
+	fs := New(cthreads.New(core.NewRAS()))
+	paths := []string{"/f0", "/f1", "/f2", "/f3"}
+	p.Go("setup", func(e *uniproc.Env) {
+		for _, path := range paths {
+			fs.Create(e, path)
+		}
+		for i := 0; i < n; i++ {
+			path := paths[i]
+			e.Fork("writer", func(e *uniproc.Env) {
+				for it := 0; it < iters; it++ {
+					fs.Append(e, path, []byte{byte('a' + it%26)})
+				}
+			})
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pp := uniproc.New(uniproc.Config{})
+	pp.Go("verify", func(e *uniproc.Env) {
+		for _, path := range paths {
+			got, err := fs.ReadFile(e, path)
+			if err != nil || len(got) != iters {
+				t.Errorf("%s: len %d err %v", path, len(got), err)
+			}
+		}
+	})
+	if err := pp.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppendSameFile(t *testing.T) {
+	const n, iters = 4, 50
+	p := uniproc.New(uniproc.Config{Quantum: 199, JitterSeed: 5})
+	fs := New(cthreads.New(core.NewRAS()))
+	p.Go("setup", func(e *uniproc.Env) {
+		fs.Create(e, "/shared")
+		for i := 0; i < n; i++ {
+			e.Fork("appender", func(e *uniproc.Env) {
+				for it := 0; it < iters; it++ {
+					fs.Append(e, "/shared", []byte{'x'})
+				}
+			})
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Stats.BytesIn; got != n*iters {
+		t.Errorf("BytesIn = %d, want %d", got, n*iters)
+	}
+}
+
+// Property: write-then-read round trips arbitrary contents.
+func TestQuickWriteReadRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		ok := true
+		run(t, func(e *uniproc.Env, fs *FS) {
+			fs.Create(e, "/f")
+			if err := fs.WriteFile(e, "/f", data); err != nil {
+				ok = false
+				return
+			}
+			got, err := fs.ReadFile(e, "/f")
+			ok = err == nil && bytes.Equal(got, data)
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteFileIsolatesCallerBuffer(t *testing.T) {
+	run(t, func(e *uniproc.Env, fs *FS) {
+		buf := []byte("abc")
+		fs.Create(e, "/f")
+		fs.WriteFile(e, "/f", buf)
+		buf[0] = 'X'
+		got, _ := fs.ReadFile(e, "/f")
+		if string(got) != "abc" {
+			t.Errorf("aliased buffer: %q", got)
+		}
+		got[0] = 'Y'
+		again, _ := fs.ReadFile(e, "/f")
+		if string(again) != "abc" {
+			t.Errorf("read aliased store: %q", again)
+		}
+	})
+}

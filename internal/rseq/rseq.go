@@ -1,0 +1,152 @@
+// Package rseq provides a Linux-rseq-flavoured interface over the virtual
+// uniprocessor's restartable sequences.
+//
+// The paper's restartable atomic sequences are the direct ancestor of
+// Linux's rseq(2) and librseq: a per-CPU critical section that the kernel
+// aborts (vectoring to an abort handler, the moral equivalent of the
+// paper's rollback) whenever the thread is preempted or migrated, with a
+// single committing store ending the sequence. On a uniprocessor there is
+// exactly one "CPU", so the per-CPU dimension degenerates — but the
+// operation shapes are the same ones librseq exports, and they are
+// implemented here with the same structure: loads and private computation,
+// then one commit.
+//
+// Each primitive returns false when the sequence observed a conflicting
+// value (the librseq convention of returning -EAGAIN/comparison failure);
+// a preemption mid-sequence is invisible to the caller — the sequence
+// simply re-runs, as in the paper.
+package rseq
+
+import "repro/internal/uniproc"
+
+// Word aliases the simulated memory word.
+type Word = uniproc.Word
+
+// CmpEqvStorev atomically performs: if *v == expect { *v = newv }. It
+// returns whether the store happened (librseq: rseq_cmpeqv_storev).
+func CmpEqvStorev(e *uniproc.Env, v *Word, expect, newv Word) bool {
+	ok := false
+	e.Restartable(func() {
+		ok = false
+		cur := e.Load(v)
+		e.ChargeALU(1) // compare
+		if cur != expect {
+			return // abort without committing
+		}
+		e.Commit(v, newv)
+		ok = true
+	})
+	return ok
+}
+
+// CmpNevStorev atomically performs: if *v != expectnot { *v = newv },
+// returning whether the store happened (librseq: rseq_cmpnev_storeoffp —
+// simplified to a direct store).
+func CmpNevStorev(e *uniproc.Env, v *Word, expectnot, newv Word) bool {
+	ok := false
+	e.Restartable(func() {
+		ok = false
+		cur := e.Load(v)
+		e.ChargeALU(1)
+		if cur == expectnot {
+			return
+		}
+		e.Commit(v, newv)
+		ok = true
+	})
+	return ok
+}
+
+// Addv atomically adds delta to *v (librseq: rseq_addv). It cannot fail:
+// the sequence re-runs until it commits.
+func Addv(e *uniproc.Env, v *Word, delta Word) {
+	e.Restartable(func() {
+		cur := e.Load(v)
+		e.ChargeALU(1)
+		e.Commit(v, cur+delta)
+	})
+}
+
+// CmpEqvTrystorevStorev atomically performs:
+// if *v == expect { *v2 = newv2; *v = newv }, returning whether it
+// committed (librseq: rseq_cmpeqv_trystorev_storev). The store to v2 is
+// the "try" store: it is re-executed on restart, which is safe because the
+// final commit to v publishes the pair.
+func CmpEqvTrystorevStorev(e *uniproc.Env, v *Word, expect Word, v2 *Word, newv2, newv Word) bool {
+	ok := false
+	e.Restartable(func() {
+		ok = false
+		cur := e.Load(v)
+		e.ChargeALU(1)
+		if cur != expect {
+			return
+		}
+		// Speculative store: idempotent under restart, published only by
+		// the commit below.
+		e.Store(v2, newv2)
+		e.Commit(v, newv)
+		ok = true
+	})
+	return ok
+}
+
+// PerCPUCounter is the canonical rseq use case: a counter incremented with
+// no atomic instructions. On the uniprocessor there is a single CPU slot;
+// the type keeps the librseq shape (a value per CPU) so code reads like its
+// modern counterpart.
+type PerCPUCounter struct {
+	slots [1]Word
+}
+
+// Inc increments the calling CPU's slot.
+func (c *PerCPUCounter) Inc(e *uniproc.Env) {
+	Addv(e, &c.slots[0], 1)
+}
+
+// Add adds delta to the calling CPU's slot.
+func (c *PerCPUCounter) Add(e *uniproc.Env, delta Word) {
+	Addv(e, &c.slots[0], delta)
+}
+
+// Sum totals all CPU slots (trivial here, but the read loop is the librseq
+// idiom).
+func (c *PerCPUCounter) Sum(e *uniproc.Env) Word {
+	var total Word
+	for i := range c.slots {
+		total += e.Load(&c.slots[i])
+	}
+	return total
+}
+
+// ListPush pushes node onto an intrusive per-CPU list whose links live in
+// next[] (librseq: per-CPU list push). head holds the index+1 of the first
+// node, 0 when empty.
+func ListPush(e *uniproc.Env, head *Word, next []Word, node int) {
+	e.Restartable(func() {
+		old := e.Load(head)
+		next[node] = old // private until committed
+		e.ChargeALU(1)
+		e.Commit(head, Word(node+1))
+	})
+}
+
+// ListPopAll detaches the whole list, returning the node indices in pop
+// order (librseq: rseq-based list splice).
+func ListPopAll(e *uniproc.Env, head *Word, next []Word) []int {
+	var h Word
+	e.Restartable(func() {
+		h = e.Load(head)
+		if h == 0 {
+			return
+		}
+		e.Commit(head, 0)
+	})
+	var out []int
+	for h != 0 {
+		node := int(h - 1)
+		out = append(out, node)
+		h = next[node]
+		e.ChargeALU(2)
+	}
+	return out
+}

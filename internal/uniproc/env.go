@@ -1,0 +1,246 @@
+package uniproc
+
+import "fmt"
+
+// Env is a green thread's handle to the virtual uniprocessor: all charged
+// operations — memory access, traps, yields, blocking — go through it. An
+// Env is only valid on its own thread while that thread holds the baton,
+// which is automatic for code called from the thread's function.
+type Env struct {
+	p *Processor
+	t *Thread
+
+	masked  int  // >0: interrupts disabled (inside a trap)
+	pending bool // a preemption arrived while masked
+
+	inRAS        bool
+	rasPreempted bool
+}
+
+// Self returns the calling thread.
+func (e *Env) Self() *Thread { return e.t }
+
+// Processor returns the underlying processor (for statistics and forking).
+func (e *Env) Processor() *Processor { return e.p }
+
+// Now returns the current virtual time in cycles.
+func (e *Env) Now() uint64 { return e.p.clock }
+
+// charge advances the virtual clock and takes a pending timer interrupt at
+// this instruction boundary.
+func (e *Env) charge(cycles int) {
+	e.p.clock += uint64(cycles)
+	e.maybePreempt()
+}
+
+func (e *Env) maybePreempt() {
+	if e.p.clock < e.p.sliceEnd {
+		return
+	}
+	if e.masked > 0 {
+		e.pending = true
+		return
+	}
+	e.preempt()
+}
+
+// preempt suspends the thread involuntarily: the suspension path cost and
+// the configured PC-check cost are charged, the thread goes to the back of
+// the ready queue, and — if it was inside a restartable sequence — the
+// sequence is rolled back on resumption.
+func (e *Env) preempt() {
+	p, t := e.p, e.t
+	t.Suspensions++
+	p.Stats.Suspensions++
+	p.trace(TracePreempt, t, 0)
+	p.clock += uint64(p.profile.SuspendCycles + p.profile.PCCheckRegistrationCycles)
+	p.readyq = append(p.readyq, t)
+	p.park(t)
+	if e.inRAS {
+		// Suspended within the atomic sequence: re-run it from the top.
+		e.rasPreempted = true
+		t.Restarts++
+		p.Stats.Restarts++
+		p.trace(TraceRestart, t, 0)
+		panic(restartSignal{})
+	}
+}
+
+// ChargeALU charges n ALU instructions of work (register arithmetic,
+// comparisons) without touching memory.
+func (e *Env) ChargeALU(n int) { e.charge(n * e.p.profile.ALUCycles) }
+
+// ChargeCall charges one call/return linkage (the overhead the paper's
+// Table 1 attributes to the out-of-line registered sequence).
+func (e *Env) ChargeCall() { e.charge(2 * e.p.profile.JumpCycles) }
+
+// Load reads a shared word, charging one load.
+func (e *Env) Load(w *Word) Word {
+	v := *w
+	e.charge(e.p.profile.LoadCycles)
+	return v
+}
+
+// Store writes a shared word, charging one store. Inside a restartable
+// sequence, use Commit for the final (committing) store instead: a
+// sequence must end with its store so that rollback never repeats one.
+func (e *Env) Store(w *Word, v Word) {
+	*w = v
+	e.charge(e.p.profile.StoreCycles)
+}
+
+// Restartable runs seq as a restartable atomic sequence: if the thread is
+// preempted while inside, seq is aborted and re-run from the start when
+// the thread is next scheduled — the uniproc analogue of the kernel
+// rolling the PC back. Sequences must not nest, must not block or yield,
+// and must perform their externally visible write via Commit as the last
+// operation.
+func (e *Env) Restartable(seq func()) {
+	if e.inRAS {
+		panic("uniproc: nested Restartable sequences")
+	}
+	for {
+		restarted := e.runSeq(seq)
+		if !restarted {
+			return
+		}
+	}
+}
+
+// runSeq executes one attempt of a restartable sequence, reporting whether
+// it must be retried.
+func (e *Env) runSeq(seq func()) (restart bool) {
+	e.inRAS = true
+	e.rasPreempted = false
+	defer func() {
+		e.inRAS = false
+		if r := recover(); r != nil {
+			if _, ok := r.(restartSignal); ok && e.rasPreempted {
+				restart = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	seq()
+	return false
+}
+
+// Commit performs the final store of a restartable sequence and ends the
+// sequence *before* the preemption point, so a timer interrupt arriving at
+// this instruction boundary does not roll back a completed sequence. This
+// mirrors the paper's Figure 4, where the registered range ends at the
+// store instruction: code after the store is no longer restartable. A
+// second Commit in the same sequence is a bug and panics.
+func (e *Env) Commit(w *Word, v Word) {
+	if !e.inRAS {
+		panic("uniproc: Commit outside a Restartable sequence")
+	}
+	*w = v
+	e.inRAS = false // the sequence has committed; no rollback past this point
+	e.charge(e.p.profile.StoreCycles)
+}
+
+// InRestartable reports whether the thread is inside a restartable
+// sequence (for assertions in library code).
+func (e *Env) InRestartable() bool { return e.inRAS }
+
+// Trap enters the kernel with interrupts disabled, runs f, charges the trap
+// entry/exit paths plus extra cycles of kernel work, and delivers any timer
+// interrupt that arrived during the trap on the way out — the behaviour §5.3
+// blames for inflated critical sections under kernel emulation.
+func (e *Env) Trap(extra int, f func()) {
+	p := e.p
+	p.Stats.Traps++
+	p.trace(TraceTrap, e.t, 0)
+	e.masked++
+	p.clock += uint64(p.profile.TrapEnterCycles + extra)
+	if f != nil {
+		f()
+	}
+	p.clock += uint64(p.profile.TrapExitCycles)
+	e.masked--
+	if e.masked == 0 {
+		if e.pending || p.clock >= p.sliceEnd {
+			e.pending = false
+			e.maybePreempt()
+		}
+	}
+}
+
+// CountEmulTrap records one kernel-emulated atomic operation (the paper's
+// "Emulation Traps" column).
+func (e *Env) CountEmulTrap() { e.p.Stats.EmulTraps++ }
+
+// Interlocked runs f as a single memory-interlocked instruction: charged at
+// the profile's interlocked cost, immune to preemption (it is one
+// instruction). Panics if the profile lacks hardware support — the guest
+// must not execute an instruction its processor does not have.
+func (e *Env) Interlocked(f func()) {
+	p := e.p
+	if !p.profile.HasInterlocked {
+		panic(fmt.Sprintf("uniproc: interlocked instruction on %s", p.profile.Name))
+	}
+	f()
+	e.charge(p.profile.InterlockedCycles)
+}
+
+// Yield voluntarily relinquishes the processor: the thread goes to the back
+// of the ready queue. Yield must not be called inside a Restartable
+// sequence (the paper's sequences never block).
+func (e *Env) Yield() {
+	if e.inRAS {
+		panic("uniproc: Yield inside a Restartable sequence")
+	}
+	p, t := e.p, e.t
+	p.Stats.Yields++
+	p.trace(TraceYield, t, 0)
+	p.clock += uint64(p.profile.TrapEnterCycles + p.profile.TrapExitCycles)
+	p.readyq = append(p.readyq, t)
+	p.park(t)
+}
+
+// Block suspends the thread without requeueing it; it runs again only after
+// another thread calls Unblock. Used by relinquishing mutexes and condition
+// variables. If an Unblock for this thread already arrived (the waker ran
+// between the caller publishing its intent to sleep and this call), Block
+// consumes the pending wakeup and returns immediately — the standard
+// lost-wakeup guard.
+func (e *Env) Block() {
+	if e.inRAS {
+		panic("uniproc: Block inside a Restartable sequence")
+	}
+	p, t := e.p, e.t
+	p.Stats.Blocks++
+	p.trace(TraceBlock, t, 0)
+	p.clock += uint64(p.profile.TrapEnterCycles + p.profile.TrapExitCycles)
+	if t.wakePending {
+		t.wakePending = false
+		return
+	}
+	t.blocked = true
+	p.park(t)
+}
+
+// Unblock makes a blocked thread ready again. If t has not blocked yet, the
+// wakeup is remembered and t's next Block returns immediately. Unblocking a
+// finished thread is a bug in the caller.
+func (e *Env) Unblock(t *Thread) {
+	if t.done {
+		panic(fmt.Sprintf("uniproc: Unblock of finished %v", t))
+	}
+	e.ChargeALU(4) // wakeup bookkeeping
+	e.p.trace(TraceUnblock, e.t, t.ID)
+	if !t.blocked {
+		t.wakePending = true
+		return
+	}
+	t.blocked = false
+	e.p.readyq = append(e.p.readyq, t)
+}
+
+// Fork creates and readies a new thread.
+func (e *Env) Fork(name string, fn func(*Env)) *Thread {
+	e.ChargeALU(20) // thread-creation bookkeeping
+	return e.p.Go(name, fn)
+}

@@ -1,0 +1,44 @@
+package uniproc_test
+
+import (
+	"fmt"
+
+	"repro/internal/uniproc"
+)
+
+// Example shows the virtual uniprocessor's core loop: green threads
+// interleaved by a timer quantum, with a restartable sequence recovering
+// from mid-sequence preemption.
+func Example() {
+	proc := uniproc.New(uniproc.Config{Quantum: 37})
+	var lock, counter uniproc.Word
+	for i := 0; i < 3; i++ {
+		proc.Go("worker", func(e *uniproc.Env) {
+			for n := 0; n < 400; n++ {
+				for {
+					var old uniproc.Word
+					e.Restartable(func() {
+						old = e.Load(&lock) // lw
+						e.ChargeALU(1)      // li
+						e.Commit(&lock, 1)  // sw — ends the sequence
+					})
+					if old == 0 {
+						break
+					}
+					e.Yield()
+				}
+				v := e.Load(&counter)
+				e.Store(&counter, v+1)
+				e.Store(&lock, 0)
+			}
+		})
+	}
+	if err := proc.Run(); err != nil {
+		fmt.Println(err)
+	}
+	fmt.Println("counter:", counter)
+	fmt.Println("exact despite suspensions:", proc.Stats.Suspensions > 0)
+	// Output:
+	// counter: 1200
+	// exact despite suspensions: true
+}

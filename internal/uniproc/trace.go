@@ -1,0 +1,128 @@
+package uniproc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceType classifies runtime trace events.
+type TraceType int
+
+const (
+	TraceDispatch TraceType = iota
+	TracePreempt
+	TraceRestart
+	TraceYield
+	TraceBlock
+	TraceUnblock
+	TraceTrap
+	TraceFork
+	TraceExit
+)
+
+func (t TraceType) String() string {
+	switch t {
+	case TraceDispatch:
+		return "dispatch"
+	case TracePreempt:
+		return "preempt"
+	case TraceRestart:
+		return "restart"
+	case TraceYield:
+		return "yield"
+	case TraceBlock:
+		return "block"
+	case TraceUnblock:
+		return "unblock"
+	case TraceTrap:
+		return "trap"
+	case TraceFork:
+		return "fork"
+	case TraceExit:
+		return "exit"
+	}
+	return "?"
+}
+
+// TraceEvent is one runtime event. Arg carries the unblocked/forked thread
+// ID for TraceUnblock/TraceFork.
+type TraceEvent struct {
+	Cycle  uint64
+	Type   TraceType
+	Thread int
+	Arg    int
+}
+
+// String renders the event on one line.
+func (ev TraceEvent) String() string {
+	s := fmt.Sprintf("[%10d] t%-2d %s", ev.Cycle, ev.Thread, ev.Type)
+	switch ev.Type {
+	case TraceUnblock, TraceFork:
+		s += fmt.Sprintf(" -> t%d", ev.Arg)
+	}
+	return s
+}
+
+// Tracer receives runtime events; nil on the processor disables tracing.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// RingTracer retains the most recent events.
+type RingTracer struct {
+	buf   []TraceEvent
+	next  int
+	total uint64
+}
+
+// NewRingTracer creates a tracer retaining the last n events.
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{buf: make([]TraceEvent, 0, n)}
+}
+
+// Event implements Tracer.
+func (r *RingTracer) Event(ev TraceEvent) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total reports how many events were observed in all.
+func (r *RingTracer) Total() uint64 { return r.total }
+
+// Events returns retained events in chronological order.
+func (r *RingTracer) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// String renders the retained events one per line.
+func (r *RingTracer) String() string {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// trace emits an event when tracing is enabled.
+func (p *Processor) trace(ty TraceType, t *Thread, arg int) {
+	if p.Tracer == nil {
+		return
+	}
+	ev := TraceEvent{Cycle: p.clock, Type: ty, Arg: arg}
+	if t != nil {
+		ev.Thread = t.ID
+	}
+	p.Tracer.Event(ev)
+}

@@ -1,0 +1,274 @@
+// Package uniproc implements a virtual uniprocessor for Go code: a set of
+// green threads multiplexed onto exactly one running goroutine at a time,
+// with a virtual cycle clock, timer-driven preemption, and the recovery
+// hooks needed to model restartable atomic sequences.
+//
+// This is the second of the repository's two substrates (see DESIGN.md).
+// Where internal/vmach interprets a real instruction set, uniproc runs
+// ordinary Go code instrumented at memory-operation granularity: every
+// Load/Store charges virtual cycles and is a potential preemption point.
+// Because exactly one thread holds the baton at any moment, shared Go
+// variables need no Go-level synchronization — exactly as on the paper's
+// uniprocessor — and an interleaving bug in a guest algorithm manifests as
+// a real lost update.
+//
+// A restartable atomic sequence is expressed as a closure passed to
+// Env.Restartable. If the scheduler preempts the thread while the closure
+// is running, the closure is aborted (via an internal panic that never
+// escapes the package) and re-entered from the top — the moral equivalent
+// of the kernel rolling the PC back to the sequence start.
+package uniproc
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Word is a machine word in simulated shared memory. All access from guest
+// code must go through Env.Load / Env.Store so that cycles are charged and
+// preemption points observed; direct access is only safe for harness code
+// inspecting a finished run.
+type Word uint32
+
+// Stats aggregates the counters reported in the paper's Table 3.
+type Stats struct {
+	Suspensions uint64 // involuntary thread suspensions (timer preemption)
+	Restarts    uint64 // restartable-sequence rollbacks
+	EmulTraps   uint64 // kernel-emulated atomic operations
+	Traps       uint64 // all kernel traps (syscall-level entries)
+	Yields      uint64 // voluntary processor relinquishments
+	Switches    uint64 // context switches
+	Blocks      uint64 // threads blocking on a wait queue
+	Forks       uint64 // threads created
+}
+
+// Config parametrizes a Processor.
+type Config struct {
+	Profile *arch.Profile // cost model; default R3000 (DECstation 5000/200)
+	Quantum uint64        // timeslice in cycles; default 50000 (~2ms at 25MHz)
+	// JitterSeed, when nonzero, perturbs each timeslice length by up to
+	// ±25% with a deterministic xorshift stream, preventing phase lock
+	// between the quantum and loop periods.
+	JitterSeed uint64
+	// MaxCycles aborts runs exceeding the budget. Default 1<<44.
+	MaxCycles uint64
+}
+
+// Processor is the virtual uniprocessor. Create with New, add the initial
+// thread(s) with Go, then call Run.
+type Processor struct {
+	profile *arch.Profile
+	quantum uint64
+	jitter  uint64
+	maxCyc  uint64
+
+	clock       uint64
+	sliceEnd    uint64
+	threads     []*Thread
+	readyq      []*Thread
+	cur         *Thread
+	live        int
+	started     bool
+	aborting    bool
+	runErr      error
+	schedCh     chan struct{}
+	Stats       Stats
+	lockHoldups uint64 // see CountHoldup
+
+	// Tracer, when non-nil, receives runtime events (dispatches,
+	// preemptions, restarts, blocking).
+	Tracer Tracer
+}
+
+// Thread is the scheduler-visible identity of a green thread.
+type Thread struct {
+	ID   int
+	Name string
+
+	Suspensions uint64
+	Restarts    uint64
+
+	proc        *Processor
+	fn          func(*Env)
+	resumeCh    chan struct{}
+	env         *Env
+	done        bool
+	blocked     bool
+	wakePending bool
+}
+
+// String implements fmt.Stringer.
+func (t *Thread) String() string { return fmt.Sprintf("thread %d (%s)", t.ID, t.Name) }
+
+// New creates a processor.
+func New(cfg Config) *Processor {
+	if cfg.Profile == nil {
+		cfg.Profile = arch.R3000()
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 50000
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 44
+	}
+	return &Processor{
+		profile: cfg.Profile,
+		quantum: cfg.Quantum,
+		jitter:  cfg.JitterSeed,
+		maxCyc:  cfg.MaxCycles,
+		schedCh: make(chan struct{}),
+	}
+}
+
+// Profile returns the processor's cost model.
+func (p *Processor) Profile() *arch.Profile { return p.profile }
+
+// Clock returns the current virtual time in cycles.
+func (p *Processor) Clock() uint64 { return p.clock }
+
+// Micros returns elapsed virtual time in microseconds.
+func (p *Processor) Micros() float64 { return p.profile.Micros(p.clock) }
+
+// Go adds a thread to the processor. It may be called before Run (to set up
+// the initial threads) or from inside a running thread via Env.Fork.
+func (p *Processor) Go(name string, fn func(*Env)) *Thread {
+	t := &Thread{
+		ID:       len(p.threads),
+		Name:     name,
+		proc:     p,
+		fn:       fn,
+		resumeCh: make(chan struct{}),
+	}
+	t.env = &Env{p: p, t: t}
+	p.threads = append(p.threads, t)
+	p.readyq = append(p.readyq, t)
+	p.live++
+	p.Stats.Forks++
+	p.trace(TraceFork, p.cur, t.ID)
+	go p.threadBody(t)
+	return t
+}
+
+// Threads returns every thread ever created.
+func (p *Processor) Threads() []*Thread { return p.threads }
+
+// Errors returned by Run.
+var (
+	ErrDeadlock = errors.New("uniproc: deadlock: blocked threads but none ready")
+	ErrBudget   = errors.New("uniproc: cycle budget exceeded")
+)
+
+// abortSignal unwinds a green thread's stack during shutdown. It never
+// escapes the package.
+type abortSignal struct{}
+
+// restartSignal aborts a restartable sequence for re-entry. It never
+// escapes Env.Restartable.
+type restartSignal struct{}
+
+func (p *Processor) threadBody(t *Thread) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(abortSignal); !ok {
+				if p.runErr == nil {
+					p.runErr = fmt.Errorf("uniproc: %v panicked: %v", t, r)
+				}
+			}
+		}
+		t.done = true
+		p.live--
+		p.trace(TraceExit, t, 0)
+		p.schedCh <- struct{}{}
+	}()
+	<-t.resumeCh
+	if p.aborting {
+		panic(abortSignal{})
+	}
+	t.fn(t.env)
+}
+
+// Run schedules threads until all have finished. It returns an error on
+// deadlock, budget exhaustion, or a panic in guest code.
+func (p *Processor) Run() error {
+	if p.started {
+		return errors.New("uniproc: Run called twice")
+	}
+	p.started = true
+	for {
+		if p.runErr != nil || p.clock > p.maxCyc || (len(p.readyq) == 0 && p.live > 0) {
+			break
+		}
+		if p.live == 0 {
+			return nil
+		}
+		t := p.readyq[0]
+		p.readyq = p.readyq[1:]
+		p.dispatch(t)
+		t.resumeCh <- struct{}{}
+		<-p.schedCh
+		p.cur = nil
+	}
+	// Abnormal exit: unwind every remaining thread.
+	err := p.runErr
+	if err == nil {
+		if p.clock > p.maxCyc {
+			err = ErrBudget
+		} else {
+			err = ErrDeadlock
+		}
+	}
+	p.abortAll()
+	return err
+}
+
+func (p *Processor) abortAll() {
+	p.aborting = true
+	for _, t := range p.threads {
+		if t.done {
+			continue
+		}
+		t.resumeCh <- struct{}{}
+		<-p.schedCh
+	}
+}
+
+func (p *Processor) dispatch(t *Thread) {
+	p.cur = t
+	p.Stats.Switches++
+	p.trace(TraceDispatch, t, 0)
+	p.clock += uint64(p.profile.ResumeCycles)
+	q := p.quantum
+	if p.jitter != 0 {
+		// xorshift64: deterministic per-slice jitter of up to ±25%.
+		x := p.jitter
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p.jitter = x
+		span := q / 2
+		if span > 0 {
+			q = q - q/4 + x%span
+		}
+	}
+	p.sliceEnd = p.clock + q
+}
+
+// park hands the baton back to the scheduler and blocks until redispatched.
+// Must be called on t's goroutine while t holds the baton.
+func (p *Processor) park(t *Thread) {
+	p.schedCh <- struct{}{}
+	<-t.resumeCh
+	if p.aborting {
+		panic(abortSignal{})
+	}
+}
+
+// CountHoldup records that a thread found a lock held by a suspended
+// holder; used to reproduce the paper's §5.3 "inflated critical section"
+// observation. Exposed via HoldupCount.
+func (p *Processor) CountHoldup() { p.lockHoldups++ }
+
+// HoldupCount returns the number of lock-found-held events recorded.
+func (p *Processor) HoldupCount() uint64 { return p.lockHoldups }

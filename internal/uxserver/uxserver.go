@@ -1,0 +1,222 @@
+// Package uxserver models CMU's user-level Unix server (Golub et al.): a
+// multithreaded operating-system service running in user space on the same
+// uniprocessor as its clients. Even single-threaded applications make
+// requests of this server, so its internal synchronization — a mutex- and
+// condition-variable-protected request queue plus the per-file locking in
+// memfs — is where the paper's "indirect benefit" for single-threaded
+// programs comes from (§5.3: text-format and afs-bench improve ~3% although
+// they have one thread).
+//
+// Clients call the synchronous file operations; each call enqueues a
+// request, wakes a worker thread, and blocks on a reply semaphore.
+package uxserver
+
+import (
+	"errors"
+
+	"repro/internal/cthreads"
+	"repro/internal/memfs"
+	"repro/internal/uniproc"
+)
+
+// op identifies a request type.
+type op int
+
+const (
+	opRead op = iota
+	opReadAt
+	opWrite
+	opAppend
+	opCreate
+	opMkdir
+	opRemove
+	opReadDir
+	opStat
+)
+
+type request struct {
+	op   op
+	path string
+	data []byte
+	off  int
+	buf  []byte
+
+	// reply
+	done  *cthreads.Semaphore
+	out   []byte
+	names []string
+	n     int
+	isDir bool
+	size  int
+	err   error
+}
+
+// Server is a running multithreaded file service.
+type Server struct {
+	pkg      *cthreads.Pkg
+	fs       *memfs.FS
+	mu       *cthreads.Mutex
+	nonEmpty *cthreads.Cond
+	queue    []*request
+	stopped  bool
+	workers  int
+
+	// Requests counts client calls served.
+	Requests uint64
+}
+
+// Start creates the server and forks its worker threads on proc. Call
+// before proc.Run. The server owns fs for the duration.
+func Start(proc *uniproc.Processor, pkg *cthreads.Pkg, fs *memfs.FS, workers int) *Server {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Server{
+		pkg:      pkg,
+		fs:       fs,
+		mu:       pkg.NewMutex(),
+		nonEmpty: pkg.NewCond(),
+		workers:  workers,
+	}
+	for i := 0; i < workers; i++ {
+		proc.Go("ux-worker", s.workerLoop)
+	}
+	return s
+}
+
+// FS returns the underlying filesystem (for direct inspection in tests).
+func (s *Server) FS() *memfs.FS { return s.fs }
+
+func (s *Server) workerLoop(e *uniproc.Env) {
+	for {
+		s.mu.Lock(e)
+		for len(s.queue) == 0 && !s.stopped {
+			s.nonEmpty.Wait(e, s.mu)
+		}
+		if len(s.queue) == 0 && s.stopped {
+			s.mu.Unlock(e)
+			return
+		}
+		r := s.queue[0]
+		s.queue = s.queue[1:]
+		e.ChargeALU(6)
+		s.mu.Unlock(e)
+		s.execute(e, r)
+		r.done.V(e)
+	}
+}
+
+func (s *Server) execute(e *uniproc.Env, r *request) {
+	e.ChargeALU(30) // request decode/dispatch
+	switch r.op {
+	case opRead:
+		r.out, r.err = s.fs.ReadFile(e, r.path)
+	case opReadAt:
+		r.n, r.err = s.fs.ReadAt(e, r.path, r.off, r.buf)
+	case opWrite:
+		r.err = s.fs.WriteFile(e, r.path, r.data)
+	case opAppend:
+		r.err = s.fs.Append(e, r.path, r.data)
+	case opCreate:
+		r.err = s.fs.Create(e, r.path)
+	case opMkdir:
+		r.err = s.fs.Mkdir(e, r.path)
+	case opRemove:
+		r.err = s.fs.Remove(e, r.path)
+	case opReadDir:
+		r.names, r.err = s.fs.ReadDir(e, r.path)
+	case opStat:
+		r.isDir, r.size, r.err = s.fs.Stat(e, r.path)
+	default:
+		r.err = errors.New("uxserver: unknown op")
+	}
+}
+
+// submit enqueues r, wakes a worker, and waits for the reply.
+func (s *Server) submit(e *uniproc.Env, r *request) {
+	r.done = s.pkg.NewSemaphore(0)
+	s.mu.Lock(e)
+	if s.stopped {
+		s.mu.Unlock(e)
+		r.err = errors.New("uxserver: server stopped")
+		return
+	}
+	s.queue = append(s.queue, r)
+	s.Requests++
+	e.ChargeALU(10) // marshal
+	s.nonEmpty.Signal(e)
+	s.mu.Unlock(e)
+	r.done.P(e)
+}
+
+// ReadFile reads a whole file through the server.
+func (s *Server) ReadFile(e *uniproc.Env, path string) ([]byte, error) {
+	r := &request{op: opRead, path: path}
+	s.submit(e, r)
+	return r.out, r.err
+}
+
+// ReadAt reads into buf at offset off, returning the byte count.
+func (s *Server) ReadAt(e *uniproc.Env, path string, off int, buf []byte) (int, error) {
+	r := &request{op: opReadAt, path: path, off: off, buf: buf}
+	s.submit(e, r)
+	return r.n, r.err
+}
+
+// WriteFile replaces a file's contents through the server.
+func (s *Server) WriteFile(e *uniproc.Env, path string, data []byte) error {
+	r := &request{op: opWrite, path: path, data: data}
+	s.submit(e, r)
+	return r.err
+}
+
+// Append appends to a file through the server.
+func (s *Server) Append(e *uniproc.Env, path string, data []byte) error {
+	r := &request{op: opAppend, path: path, data: data}
+	s.submit(e, r)
+	return r.err
+}
+
+// Create creates a file through the server.
+func (s *Server) Create(e *uniproc.Env, path string) error {
+	r := &request{op: opCreate, path: path}
+	s.submit(e, r)
+	return r.err
+}
+
+// Mkdir creates a directory through the server.
+func (s *Server) Mkdir(e *uniproc.Env, path string) error {
+	r := &request{op: opMkdir, path: path}
+	s.submit(e, r)
+	return r.err
+}
+
+// Remove deletes a file or empty directory through the server.
+func (s *Server) Remove(e *uniproc.Env, path string) error {
+	r := &request{op: opRemove, path: path}
+	s.submit(e, r)
+	return r.err
+}
+
+// ReadDir lists a directory through the server.
+func (s *Server) ReadDir(e *uniproc.Env, path string) ([]string, error) {
+	r := &request{op: opReadDir, path: path}
+	s.submit(e, r)
+	return r.names, r.err
+}
+
+// Stat reports a node's metadata through the server.
+func (s *Server) Stat(e *uniproc.Env, path string) (isDir bool, size int, err error) {
+	r := &request{op: opStat, path: path}
+	s.submit(e, r)
+	return r.isDir, r.size, r.err
+}
+
+// Shutdown drains the queue and stops all worker threads. Call from a
+// client thread when the workload is finished so the processor can halt.
+func (s *Server) Shutdown(e *uniproc.Env) {
+	s.mu.Lock(e)
+	s.stopped = true
+	s.nonEmpty.Broadcast(e)
+	s.mu.Unlock(e)
+}

@@ -1,0 +1,572 @@
+// Package kernel implements the operating-system half of the simulated
+// uniprocessor: thread contexts, a preemptive round-robin scheduler driven
+// by a timer quantum, syscalls, demand paging, and — the subject of the
+// paper — the recovery machinery for restartable atomic sequences.
+//
+// Three recovery strategies are provided, mirroring the paper:
+//
+//   - Registration: Mach 3.0 style (§3.1). The address space registers a
+//     single PC range; a thread suspended inside it is resumed at its start.
+//   - Designated: Taos style (§3.2). The kernel recognizes interrupted
+//     atomic sequences by inspecting the suspended thread's instruction
+//     stream with a two-stage opcode-hash + landmark check.
+//   - UserLevel: §4.1's alternative. The kernel vectors every resumed
+//     thread through a user-level trampoline that performs its own check.
+//
+// The kernel also provides kernel-emulated Test-And-Set (§2.3) as a syscall
+// executed with interrupts disabled, and honours the i860-style hardware
+// lock bit (§7) by rolling a suspended thread back to its lockb instruction.
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/vmach"
+)
+
+// Syscall numbers (passed in v0).
+const (
+	SysExit         = 0 // a0 = exit code
+	SysYield        = 1
+	SysWrite        = 2 // a0 = word appended to the console
+	SysRasRegister  = 3 // a0 = start, a1 = length in bytes; v0 = 0 ok / -1 unsupported
+	SysTas          = 4 // a0 = address; v0 = old value (kernel-emulated Test-And-Set)
+	SysThreadCreate = 5 // a0 = entry, a1 = argument, a2 = stack top; v0 = tid
+	SysTime         = 6 // v0 = low 32 bits of cycle counter, v1 = high
+	SysSetHandler   = 7 // a0 = user-level resume trampoline address
+
+	// Taos-style mutex support (§3.2, Figure 5): the designated acquire
+	// and release sequences handle the common case inline; the infrequent
+	// cases trap to the kernel. The mutex word holds 0 (unlocked),
+	// MutexLocked (locked, no waiters) or MutexLocked|MutexWaiters.
+	SysMutexSlow = 8 // a0 = mutex address; returns owning the mutex
+	SysMutexWake = 9 // a0 = mutex address; wakes one waiter (handoff)
+)
+
+// Mutex word values for the Taos-style designated mutex.
+const (
+	MutexLocked  = 0x8000_0000 // locked-but-no-waiters (paper §3.2)
+	MutexWaiters = 0x0000_0001
+)
+
+// ThreadState is a thread's scheduler state.
+type ThreadState int
+
+const (
+	StateReady ThreadState = iota
+	StateRunning
+	StateBlocked
+	StateDone
+	StateFaulted
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateReady:
+		return "ready"
+	case StateRunning:
+		return "running"
+	case StateBlocked:
+		return "blocked"
+	case StateDone:
+		return "done"
+	case StateFaulted:
+		return "faulted"
+	}
+	return "unknown"
+}
+
+// Thread is one kernel-scheduled thread.
+type Thread struct {
+	ID int
+	// AS identifies the thread's address space. Threads share simulated
+	// memory regardless (the simulator models one physical memory), but
+	// RAS registration is per address space, as in Mach (§3.1).
+	AS    int
+	Ctx   vmach.Context
+	State ThreadState
+
+	ExitCode isa.Word
+	Fault    *vmach.Fault
+
+	// Per-thread accounting.
+	Suspensions uint64 // involuntary suspensions (preemption, page fault)
+	Restarts    uint64 // RAS rollbacks applied to this thread
+
+	// needsCheck marks a thread whose PC check was deferred to resume
+	// time (CheckAtResume policy, or user-level detection).
+	needsCheck bool
+}
+
+// CheckTime selects when the PC check runs (§4.1 "Placement of the PC
+// check"): Mach checks at suspension, Taos at resume.
+type CheckTime int
+
+const (
+	CheckAtSuspend CheckTime = iota // Mach: return PC conveniently at hand
+	CheckAtResume                   // Taos: user memory safely touchable
+)
+
+// Stats aggregates kernel-wide accounting, matching the columns of the
+// paper's Table 3.
+type Stats struct {
+	Suspensions    uint64 // involuntary thread suspensions
+	Preemptions    uint64 // timer-driven subset of the above
+	PageFaults     uint64
+	Restarts       uint64 // RAS rollbacks performed
+	EmulTraps      uint64 // kernel-emulated atomic operations
+	Syscalls       uint64
+	Switches       uint64 // context switches
+	CheckRejects   uint64 // designated checks that failed stage 1 or 2
+	HardwareResets uint64 // i860 lock-bit rollbacks
+	SlowAcquires   uint64 // out-of-line mutex acquisitions (§3.2)
+	MutexWakes     uint64 // kernel handoffs to a mutex waiter
+}
+
+// Config parametrizes a kernel instance.
+type Config struct {
+	Profile  *arch.Profile
+	Strategy Strategy  // nil means NoRecovery
+	CheckAt  CheckTime // when the PC check runs
+	Quantum  uint64    // timeslice in cycles (0: default 10000)
+	// PageFaultServiceCycles is charged to fault a page in. Default 2000.
+	PageFaultServiceCycles uint64
+	// MaxCycles aborts a run that exceeds the budget. Default 2^40.
+	MaxCycles uint64
+	// EvictEvery, when nonzero, evicts the suspended thread's code page on
+	// every Nth involuntary suspension — failure injection for the §4.1
+	// hazard: the kernel's own PC check then page-faults and must recover.
+	EvictEvery uint64
+}
+
+// Kernel multiplexes threads onto one vmach.Machine.
+type Kernel struct {
+	M        *vmach.Machine
+	Profile  *arch.Profile
+	Strategy Strategy
+	CheckAt  CheckTime
+	Quantum  uint64
+
+	pageFaultCycles uint64
+	maxCycles       uint64
+	evictEvery      uint64
+
+	threads []*Thread
+	runq    []*Thread
+	cur     *Thread
+	sliceAt uint64 // cycle count at which the running thread's slice ends
+
+	// Mach-style registration state: exactly one sequence per address
+	// space at a time (§3.1). Registering again replaces the previous
+	// sequence for that space.
+	rasBySpace map[int]rasRange
+
+	// User-level detection state (§4.1).
+	userHandler    uint32
+	hasUserHandler bool
+
+	// Taos-style mutex wait queues, keyed by mutex word address.
+	waitq   map[uint32][]*Thread
+	blocked int
+
+	Stats   Stats
+	Console []isa.Word
+
+	// Tracer, when non-nil, receives kernel events (dispatches,
+	// preemptions, restarts, syscalls, faults).
+	Tracer Tracer
+}
+
+// New creates a kernel and machine from cfg.
+func New(cfg Config) *Kernel {
+	if cfg.Profile == nil {
+		cfg.Profile = arch.R3000()
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = NoRecovery{}
+	}
+	if cfg.Quantum == 0 {
+		cfg.Quantum = 10000
+	}
+	if cfg.PageFaultServiceCycles == 0 {
+		cfg.PageFaultServiceCycles = 2000
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = 1 << 40
+	}
+	return &Kernel{
+		rasBySpace:      make(map[int]rasRange),
+		waitq:           make(map[uint32][]*Thread),
+		M:               vmach.New(cfg.Profile),
+		Profile:         cfg.Profile,
+		Strategy:        cfg.Strategy,
+		CheckAt:         cfg.CheckAt,
+		Quantum:         cfg.Quantum,
+		pageFaultCycles: cfg.PageFaultServiceCycles,
+		maxCycles:       cfg.MaxCycles,
+		evictEvery:      cfg.EvictEvery,
+	}
+}
+
+// Load copies an assembled program into memory.
+func (k *Kernel) Load(p *asm.Program) {
+	k.M.Mem.LoadProgramWords(p.TextBase, p.Text)
+	k.M.Mem.LoadProgramWords(p.DataBase, p.Data)
+}
+
+// Spawn creates a ready thread in address space 0 starting at entry with
+// the given stack top and up to three arguments in a0-a2.
+func (k *Kernel) Spawn(entry, stackTop uint32, args ...isa.Word) *Thread {
+	return k.SpawnAS(0, entry, stackTop, args...)
+}
+
+// SpawnAS creates a ready thread in the given address space.
+func (k *Kernel) SpawnAS(as int, entry, stackTop uint32, args ...isa.Word) *Thread {
+	t := &Thread{ID: len(k.threads), AS: as}
+	t.Ctx.PC = entry
+	t.Ctx.Regs[isa.RegSP] = stackTop
+	for i, a := range args {
+		if i > 2 {
+			break
+		}
+		t.Ctx.Regs[isa.RegA0+i] = a
+	}
+	k.threads = append(k.threads, t)
+	k.runq = append(k.runq, t)
+	return t
+}
+
+// Threads returns all threads ever spawned.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// ErrBudget is returned when a run exceeds its cycle budget.
+var ErrBudget = errors.New("kernel: cycle budget exceeded")
+
+// ErrDeadlock is returned when threads remain blocked with nothing runnable.
+var ErrDeadlock = errors.New("kernel: deadlock: blocked threads but none runnable")
+
+// Run schedules threads until every thread has exited. It returns an error
+// if any thread faulted or the cycle budget was exceeded.
+func (k *Kernel) Run() error {
+	for {
+		if k.cur == nil {
+			if len(k.runq) == 0 {
+				if k.blocked > 0 {
+					return ErrDeadlock
+				}
+				return k.finish()
+			}
+			k.dispatch()
+		}
+		if k.M.Stats.Cycles > k.maxCycles {
+			return ErrBudget
+		}
+
+		ev := k.M.Step(&k.cur.Ctx)
+		switch ev.Kind {
+		case vmach.EventNone:
+			// Timer: preempt at slice end unless the i860 lock bit defers
+			// interrupts (its budget bounds the deferral).
+			if k.M.Stats.Cycles >= k.sliceAt && !k.cur.Ctx.LockActive {
+				k.preempt()
+			}
+
+		case vmach.EventSyscall:
+			k.syscall(ev)
+
+		case vmach.EventBreak:
+			k.cur.State = StateDone
+			k.trace(TraceExit, k.cur, 0)
+			k.cur = nil
+
+		case vmach.EventFault:
+			k.fault(ev.Fault)
+		}
+	}
+}
+
+func (k *Kernel) finish() error {
+	for _, t := range k.threads {
+		if t.State == StateFaulted {
+			return fmt.Errorf("kernel: thread %d faulted: %v (pc=%#x)", t.ID, t.Fault, t.Ctx.PC)
+		}
+	}
+	return nil
+}
+
+// dispatch pops the next ready thread and begins its timeslice.
+func (k *Kernel) dispatch() {
+	t := k.runq[0]
+	k.runq = k.runq[1:]
+	t.State = StateRunning
+	k.cur = t
+	k.Stats.Switches++
+	k.trace(TraceDispatch, t, 0)
+	k.chargeKernel(uint64(k.Profile.ResumeCycles))
+
+	if t.needsCheck {
+		t.needsCheck = false
+		k.runCheck(t)
+	}
+	k.sliceAt = k.M.Stats.Cycles + k.Quantum
+}
+
+// chargeKernel accounts kernel-path cycles on the global clock.
+func (k *Kernel) chargeKernel(cy uint64) { k.M.Stats.Cycles += cy }
+
+// preempt suspends the running thread at a timer interrupt.
+func (k *Kernel) preempt() {
+	t := k.cur
+	k.Stats.Preemptions++
+	k.trace(TracePreempt, t, 0)
+	k.suspend(t)
+	k.runq = append(k.runq, t)
+	k.cur = nil
+}
+
+// suspend performs the involuntary-suspension bookkeeping shared by
+// preemption and page faults: accounting, the suspension path cost, the
+// hardware lock-bit rollback, and — under CheckAtSuspend — the RAS check.
+func (k *Kernel) suspend(t *Thread) {
+	t.State = StateReady
+	t.Suspensions++
+	k.Stats.Suspensions++
+	k.chargeKernel(uint64(k.Profile.SuspendCycles))
+
+	// Failure injection: evict the thread's code page so that any PC check
+	// reading the instruction stream must itself take a page fault.
+	if k.evictEvery > 0 && k.Stats.Suspensions%k.evictEvery == 0 {
+		k.M.Mem.SetPresent(t.Ctx.PC, false)
+	}
+
+	// i860-style hardware restartable sequence: the kernel must back the
+	// thread up to the lockb instruction (§7).
+	if t.Ctx.LockActive {
+		t.Ctx.PC = t.Ctx.LockPC
+		t.Ctx.LockActive = false
+		t.Restarts++
+		k.Stats.Restarts++
+		k.Stats.HardwareResets++
+	}
+
+	switch k.CheckAt {
+	case CheckAtSuspend:
+		k.runCheck(t)
+	case CheckAtResume:
+		t.needsCheck = true
+	}
+}
+
+// runCheck applies the configured recovery strategy to a suspended thread,
+// charging its cost and handling the page faults the check itself can
+// raise (§4.1: designated-sequence checks read user memory).
+func (k *Kernel) runCheck(t *Thread) {
+	for {
+		before := t.Ctx.PC
+		res := k.Strategy.Check(k, t)
+		k.chargeKernel(uint64(res.Cost))
+		if res.Fault != nil {
+			// The check touched a non-present page: service the fault and
+			// retry the check. Taos forbids this when coming *into* the
+			// kernel; we model the §4 resolution by always being able to
+			// fault the page in here.
+			k.servicePage(res.Fault.Addr)
+			continue
+		}
+		if res.Restarted {
+			t.Restarts++
+			k.Stats.Restarts++
+			k.trace(TraceRestart, t, uint64(before))
+		} else if k.Strategy.CanReject() {
+			k.Stats.CheckRejects++
+		}
+		return
+	}
+}
+
+func (k *Kernel) servicePage(addr uint32) {
+	k.Stats.PageFaults++
+	k.trace(TracePageFault, k.cur, uint64(addr))
+	k.chargeKernel(k.pageFaultCycles)
+	k.M.Mem.SetPresent(addr, true)
+}
+
+// fault handles a user-mode fault event.
+func (k *Kernel) fault(f *vmach.Fault) {
+	t := k.cur
+	switch f.Kind {
+	case vmach.FaultNotPresent:
+		// Demand paging: a page fault suspends the thread (§4.2), services
+		// the page, and requeues the thread; the faulting instruction
+		// re-executes.
+		k.suspend(t)
+		k.servicePage(f.Addr)
+		k.runq = append(k.runq, t)
+		k.cur = nil
+	default:
+		t.State = StateFaulted
+		t.Fault = f
+		k.trace(TraceFault, t, uint64(f.Addr))
+		k.cur = nil
+	}
+}
+
+// syscall dispatches a syscall event. The machine has already advanced the
+// PC past the syscall instruction.
+func (k *Kernel) syscall(ev vmach.Event) {
+	t := k.cur
+	k.Stats.Syscalls++
+	k.chargeKernel(uint64(k.Profile.TrapEnterCycles))
+	num := t.Ctx.Regs[isa.RegV0]
+	a0 := t.Ctx.Regs[isa.RegA0]
+	a1 := t.Ctx.Regs[isa.RegA1]
+	a2 := t.Ctx.Regs[isa.RegA2]
+
+	k.trace(TraceSyscall, t, uint64(num))
+	switch num {
+	case SysExit:
+		t.State = StateDone
+		t.ExitCode = a0
+		k.trace(TraceExit, t, uint64(a0))
+		k.cur = nil
+		return // no trap-exit charge for a dead thread
+
+	case SysYield:
+		// Voluntary relinquish: goes to the back of the queue. Not counted
+		// as an involuntary suspension and performs no RAS check (a
+		// syscall can never lie inside an atomic sequence).
+		k.chargeKernel(uint64(k.Profile.TrapExitCycles))
+		t.State = StateReady
+		k.runq = append(k.runq, t)
+		k.cur = nil
+		return
+
+	case SysWrite:
+		k.Console = append(k.Console, a0)
+
+	case SysRasRegister:
+		switch s := k.Strategy.(type) {
+		case *Registration:
+			// One sequence per address space: re-registration replaces.
+			k.rasBySpace[t.AS] = rasRange{a0, a1}
+			t.Ctx.Regs[isa.RegV0] = 0
+		case *MultiRegistration:
+			s.AddRange(a0, a1)
+			t.Ctx.Regs[isa.RegV0] = 0
+		default:
+			// The paper's fallback: registration fails on kernels without
+			// support, and the thread package overwrites the sequence with
+			// a conventional mechanism (§3.1).
+			t.Ctx.Regs[isa.RegV0] = ^isa.Word(0)
+		}
+
+	case SysTas:
+		// Kernel-emulated Test-And-Set (§2.3): the read-modify-write runs
+		// with interrupts disabled. A timeslice that expires inside the
+		// trap is delivered on the way out — the effect §5.3 blames for
+		// inflated critical sections.
+		k.Stats.EmulTraps++
+		k.chargeKernel(uint64(k.Profile.EmulTASCycles))
+		old, f := k.M.Mem.LoadWord(a0)
+		if f == nil {
+			f = k.M.Mem.StoreWord(a0, 1)
+		}
+		if f != nil {
+			if f.Kind == vmach.FaultNotPresent {
+				k.servicePage(f.Addr)
+				old, _ = k.M.Mem.LoadWord(a0)
+				_ = k.M.Mem.StoreWord(a0, 1)
+			} else {
+				t.State = StateFaulted
+				t.Fault = f
+				k.cur = nil
+				return
+			}
+		}
+		t.Ctx.Regs[isa.RegV0] = old
+
+	case SysThreadCreate:
+		// The child inherits the caller's address space.
+		nt := k.SpawnAS(t.AS, a0, a2, a1)
+		t.Ctx.Regs[isa.RegV0] = isa.Word(nt.ID)
+
+	case SysTime:
+		t.Ctx.Regs[isa.RegV0] = isa.Word(k.M.Stats.Cycles)
+		t.Ctx.Regs[isa.RegV1] = isa.Word(k.M.Stats.Cycles >> 32)
+
+	case SysSetHandler:
+		k.userHandler, k.hasUserHandler = a0, true
+
+	case SysMutexSlow:
+		// The inlined designated sequence found the mutex held (Figure 5's
+		// SlowAcquire). Re-examine under disabled interrupts: it may have
+		// been released meanwhile.
+		k.Stats.SlowAcquires++
+		word, f := k.M.Mem.LoadWord(a0)
+		if f != nil && f.Kind == vmach.FaultNotPresent {
+			k.servicePage(f.Addr)
+			word, f = k.M.Mem.LoadWord(a0)
+		}
+		if f != nil {
+			t.State = StateFaulted
+			t.Fault = f
+			k.cur = nil
+			return
+		}
+		if word == 0 {
+			_ = k.M.Mem.StoreWord(a0, MutexLocked)
+			break // acquired after all
+		}
+		// Mark waiters and block; the releaser hands the mutex over, so
+		// when this thread resumes it owns the mutex.
+		_ = k.M.Mem.StoreWord(a0, word|MutexWaiters)
+		k.chargeKernel(uint64(k.Profile.TrapExitCycles))
+		t.State = StateBlocked
+		k.waitq[a0] = append(k.waitq[a0], t)
+		k.blocked++
+		k.cur = nil
+		return
+
+	case SysMutexWake:
+		// The inlined release sequence saw the waiters bit. Hand the mutex
+		// to the first waiter, or clear it if the queue emptied.
+		q := k.waitq[a0]
+		if len(q) == 0 {
+			_ = k.M.Mem.StoreWord(a0, 0)
+			break
+		}
+		k.Stats.MutexWakes++
+		wt := q[0]
+		q = q[1:]
+		word := isa.Word(MutexLocked)
+		if len(q) > 0 {
+			word |= MutexWaiters
+			k.waitq[a0] = q
+		} else {
+			delete(k.waitq, a0)
+		}
+		_ = k.M.Mem.StoreWord(a0, word)
+		wt.State = StateReady
+		k.blocked--
+		k.runq = append(k.runq, wt)
+
+	default:
+		t.State = StateFaulted
+		t.Fault = &vmach.Fault{Kind: vmach.FaultIllegal, Addr: ev.SyscallPC}
+		k.cur = nil
+		return
+	}
+
+	k.chargeKernel(uint64(k.Profile.TrapExitCycles))
+	// Deliver a pending timer interrupt on the way out of the kernel.
+	if k.M.Stats.Cycles >= k.sliceAt {
+		k.preempt()
+	}
+}
+
+// Micros reports elapsed virtual time in microseconds.
+func (k *Kernel) Micros() float64 { return k.M.Micros() }

@@ -1,0 +1,128 @@
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceType classifies kernel trace events.
+type TraceType int
+
+const (
+	TraceDispatch TraceType = iota
+	TracePreempt
+	TraceRestart // a RAS rollback was applied (Arg = rolled-back-from PC)
+	TraceSyscall // Arg = syscall number
+	TracePageFault
+	TraceExit // thread finished (Arg = exit code)
+	TraceFault
+)
+
+func (t TraceType) String() string {
+	switch t {
+	case TraceDispatch:
+		return "dispatch"
+	case TracePreempt:
+		return "preempt"
+	case TraceRestart:
+		return "restart"
+	case TraceSyscall:
+		return "syscall"
+	case TracePageFault:
+		return "pagefault"
+	case TraceExit:
+		return "exit"
+	case TraceFault:
+		return "fault"
+	}
+	return "?"
+}
+
+// TraceEvent is one kernel-level event.
+type TraceEvent struct {
+	Cycle  uint64
+	Type   TraceType
+	Thread int
+	PC     uint32
+	Arg    uint64
+}
+
+// String renders the event on one line.
+func (ev TraceEvent) String() string {
+	s := fmt.Sprintf("[%10d] t%-2d %-9s pc=%#08x", ev.Cycle, ev.Thread, ev.Type, ev.PC)
+	switch ev.Type {
+	case TraceRestart:
+		s += fmt.Sprintf(" rolled back from %#08x", uint32(ev.Arg))
+	case TraceSyscall:
+		s += fmt.Sprintf(" num=%d", ev.Arg)
+	case TraceExit:
+		s += fmt.Sprintf(" code=%d", ev.Arg)
+	}
+	return s
+}
+
+// Tracer receives kernel events. A nil tracer on the kernel disables
+// tracing entirely.
+type Tracer interface {
+	Event(TraceEvent)
+}
+
+// RingTracer keeps the most recent events in a fixed-size ring.
+type RingTracer struct {
+	buf   []TraceEvent
+	next  int
+	total uint64
+}
+
+// NewRingTracer creates a tracer retaining the last n events.
+func NewRingTracer(n int) *RingTracer {
+	if n < 1 {
+		n = 1
+	}
+	return &RingTracer{buf: make([]TraceEvent, 0, n)}
+}
+
+// Event implements Tracer.
+func (r *RingTracer) Event(ev TraceEvent) {
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+}
+
+// Total reports how many events were observed in all.
+func (r *RingTracer) Total() uint64 { return r.total }
+
+// Events returns the retained events in chronological order.
+func (r *RingTracer) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// String renders the retained events, one per line.
+func (r *RingTracer) String() string {
+	var b strings.Builder
+	for _, ev := range r.Events() {
+		b.WriteString(ev.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// trace emits an event if tracing is enabled.
+func (k *Kernel) trace(ty TraceType, t *Thread, arg uint64) {
+	if k.Tracer == nil {
+		return
+	}
+	ev := TraceEvent{Cycle: k.M.Stats.Cycles, Type: ty, Arg: arg}
+	if t != nil {
+		ev.Thread = t.ID
+		ev.PC = t.Ctx.PC
+	}
+	k.Tracer.Event(ev)
+}

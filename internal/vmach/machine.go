@@ -1,0 +1,314 @@
+package vmach
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/isa"
+)
+
+// Context is the user-visible CPU state of one thread: the register file,
+// the program counter, and the i860-style lock bit.
+type Context struct {
+	Regs [isa.NumRegs]isa.Word
+	PC   uint32
+
+	// i860-style hardware restartable sequence state (§7): LockActive is
+	// the PSW bit; LockPC is where the kernel must back the thread up to
+	// if it is suspended while the bit is set; LockBudget is the remaining
+	// cycle window before the hardware clears the bit on its own.
+	LockActive bool
+	LockPC     uint32
+	LockBudget int
+}
+
+// EventKind classifies why Step returned control to the kernel.
+type EventKind int
+
+const (
+	EventNone EventKind = iota
+	EventSyscall
+	EventBreak
+	EventFault
+)
+
+// Event is the outcome of executing one instruction.
+type Event struct {
+	Kind  EventKind
+	Fault *Fault // when Kind == EventFault
+	// SyscallPC is the address of the syscall instruction; the kernel
+	// resumes the thread at SyscallPC+4 after servicing it.
+	SyscallPC uint32
+}
+
+// Stats accumulates dynamic execution counts.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	Loads        uint64
+	Stores       uint64
+	Interlocked  uint64
+	LockBStarts  uint64
+	LockBExpired uint64
+	// Write-buffer stalls (profiles with WriteBufferDepth > 0).
+	WriteStalls      uint64
+	WriteStallCycles uint64
+}
+
+// Machine executes instructions against a Context. It is a pure
+// uniprocessor: no concurrency is involved; the kernel multiplexes thread
+// contexts onto this single interpreter.
+type Machine struct {
+	Mem     *Memory
+	Profile *arch.Profile
+	Stats   Stats
+
+	// wb holds the retire times (in cycles) of write-buffer entries still
+	// draining to memory, oldest first.
+	wb []uint64
+}
+
+// New creates a machine with fresh memory.
+func New(p *arch.Profile) *Machine {
+	return &Machine{Mem: NewMemory(), Profile: p}
+}
+
+// charge adds the cycle cost of one instruction of class c, honouring the
+// context's hardware lock-bit budget.
+func (m *Machine) charge(ctx *Context, c isa.Class) {
+	cy := m.Profile.CyclesFor(c)
+	m.Stats.Cycles += uint64(cy)
+	if ctx.LockActive {
+		ctx.LockBudget -= cy
+		if ctx.LockBudget <= 0 {
+			ctx.LockActive = false
+			m.Stats.LockBExpired++
+		}
+	}
+}
+
+// Step executes one instruction. The returned Event is EventNone for
+// ordinary instructions; syscalls, breaks and faults return control to the
+// kernel with the PC *not* advanced past the triggering instruction
+// (faults) or with SyscallPC recorded (syscalls).
+func (m *Machine) Step(ctx *Context) Event {
+	w, f := m.Mem.LoadWord(ctx.PC)
+	if f != nil {
+		return Event{Kind: EventFault, Fault: f}
+	}
+	inst := isa.Decode(w)
+	class := isa.ClassOf(inst)
+	m.Stats.Instructions++
+
+	reg := func(r int) isa.Word { return ctx.Regs[r] }
+	set := func(r int, v isa.Word) {
+		if r != isa.RegZero {
+			ctx.Regs[r] = v
+		}
+	}
+	next := ctx.PC + 4
+
+	switch inst.Op {
+	case isa.OpSpecial:
+		switch inst.Funct {
+		case isa.FnSLL:
+			set(inst.Rd, reg(inst.Rt)<<uint(inst.Shamt))
+		case isa.FnSRL:
+			set(inst.Rd, reg(inst.Rt)>>uint(inst.Shamt))
+		case isa.FnSRA:
+			set(inst.Rd, isa.Word(int32(reg(inst.Rt))>>uint(inst.Shamt)))
+		case isa.FnADD:
+			set(inst.Rd, reg(inst.Rs)+reg(inst.Rt))
+		case isa.FnSUB:
+			set(inst.Rd, reg(inst.Rs)-reg(inst.Rt))
+		case isa.FnAND:
+			set(inst.Rd, reg(inst.Rs)&reg(inst.Rt))
+		case isa.FnOR:
+			set(inst.Rd, reg(inst.Rs)|reg(inst.Rt))
+		case isa.FnXOR:
+			set(inst.Rd, reg(inst.Rs)^reg(inst.Rt))
+		case isa.FnNOR:
+			set(inst.Rd, ^(reg(inst.Rs) | reg(inst.Rt)))
+		case isa.FnSLT:
+			if int32(reg(inst.Rs)) < int32(reg(inst.Rt)) {
+				set(inst.Rd, 1)
+			} else {
+				set(inst.Rd, 0)
+			}
+		case isa.FnSLTU:
+			if reg(inst.Rs) < reg(inst.Rt) {
+				set(inst.Rd, 1)
+			} else {
+				set(inst.Rd, 0)
+			}
+		case isa.FnJR:
+			next = reg(inst.Rs)
+		case isa.FnJALR:
+			set(inst.Rd, ctx.PC+4)
+			next = reg(inst.Rs)
+		case isa.FnSYSCALL:
+			m.charge(ctx, class)
+			ev := Event{Kind: EventSyscall, SyscallPC: ctx.PC}
+			ctx.PC += 4
+			return ev
+		case isa.FnBREAK:
+			m.charge(ctx, class)
+			return Event{Kind: EventBreak}
+		case isa.FnLANDMARK:
+			// Non-destructive no-op; exists only to be recognized by the
+			// kernel's designated-sequence check.
+		default:
+			return m.illegal(ctx)
+		}
+
+	case isa.OpADDI:
+		set(inst.Rt, reg(inst.Rs)+isa.Word(inst.Imm))
+	case isa.OpSLTI:
+		if int32(reg(inst.Rs)) < inst.Imm {
+			set(inst.Rt, 1)
+		} else {
+			set(inst.Rt, 0)
+		}
+	case isa.OpSLTIU:
+		if reg(inst.Rs) < isa.Word(inst.Imm) {
+			set(inst.Rt, 1)
+		} else {
+			set(inst.Rt, 0)
+		}
+	case isa.OpANDI:
+		set(inst.Rt, reg(inst.Rs)&inst.Uimm)
+	case isa.OpORI:
+		set(inst.Rt, reg(inst.Rs)|inst.Uimm)
+	case isa.OpXORI:
+		set(inst.Rt, reg(inst.Rs)^inst.Uimm)
+	case isa.OpLUI:
+		set(inst.Rt, inst.Uimm<<16)
+
+	case isa.OpLW:
+		addr := reg(inst.Rs) + isa.Word(inst.Imm)
+		v, f := m.Mem.LoadWord(addr)
+		if f != nil {
+			return Event{Kind: EventFault, Fault: f}
+		}
+		set(inst.Rt, v)
+		m.Stats.Loads++
+
+	case isa.OpSW:
+		addr := reg(inst.Rs) + isa.Word(inst.Imm)
+		if f := m.Mem.StoreWord(addr, reg(inst.Rt)); f != nil {
+			return Event{Kind: EventFault, Fault: f}
+		}
+		m.Stats.Stores++
+		m.writeBuffer()
+		// A store ends an i860 hardware restartable sequence.
+		ctx.LockActive = false
+
+	case isa.OpBEQ:
+		if reg(inst.Rs) == reg(inst.Rt) {
+			next = branchTarget(ctx.PC, inst.Imm)
+		}
+	case isa.OpBNE:
+		if reg(inst.Rs) != reg(inst.Rt) {
+			next = branchTarget(ctx.PC, inst.Imm)
+		}
+	case isa.OpBLEZ:
+		if int32(reg(inst.Rs)) <= 0 {
+			next = branchTarget(ctx.PC, inst.Imm)
+		}
+	case isa.OpBGTZ:
+		if int32(reg(inst.Rs)) > 0 {
+			next = branchTarget(ctx.PC, inst.Imm)
+		}
+
+	case isa.OpJ:
+		next = inst.Targ << 2
+	case isa.OpJAL:
+		set(isa.RegRA, ctx.PC+4)
+		next = inst.Targ << 2
+
+	case isa.OpTAS, isa.OpXCHG, isa.OpFAA:
+		if !m.Profile.HasInterlocked {
+			return m.illegal(ctx)
+		}
+		addr := reg(inst.Rs) + isa.Word(inst.Imm)
+		old, f := m.Mem.LoadWord(addr)
+		if f != nil {
+			return Event{Kind: EventFault, Fault: f}
+		}
+		var nw isa.Word
+		switch inst.Op {
+		case isa.OpTAS:
+			nw = 1
+		case isa.OpXCHG:
+			nw = reg(inst.Rt)
+		case isa.OpFAA:
+			nw = old + 1
+		}
+		if f := m.Mem.StoreWord(addr, nw); f != nil {
+			return Event{Kind: EventFault, Fault: f}
+		}
+		set(inst.Rt, old)
+		m.Stats.Interlocked++
+
+	case isa.OpLOCKB:
+		if !m.Profile.HasLockBit {
+			return m.illegal(ctx)
+		}
+		ctx.LockActive = true
+		ctx.LockPC = ctx.PC
+		ctx.LockBudget = m.Profile.LockBMaxCycles
+		m.Stats.LockBStarts++
+
+	default:
+		return m.illegal(ctx)
+	}
+
+	m.charge(ctx, class)
+	ctx.PC = next
+	return Event{Kind: EventNone}
+}
+
+// writeBuffer models a write-through cache's store buffer (§5.1): each
+// store enqueues an entry that retires WriteBufferDrainCycles later; a
+// store against a full buffer stalls the processor until the oldest entry
+// drains. Disabled when the profile's depth is zero.
+func (m *Machine) writeBuffer() {
+	p := m.Profile
+	if p.WriteBufferDepth <= 0 {
+		return
+	}
+	now := m.Stats.Cycles
+	for len(m.wb) > 0 && m.wb[0] <= now {
+		m.wb = m.wb[1:]
+	}
+	if len(m.wb) >= p.WriteBufferDepth {
+		stall := m.wb[0] - now
+		m.Stats.Cycles += stall
+		m.Stats.WriteStalls++
+		m.Stats.WriteStallCycles += stall
+		now = m.Stats.Cycles
+		m.wb = m.wb[1:]
+	}
+	last := now
+	if len(m.wb) > 0 && m.wb[len(m.wb)-1] > last {
+		last = m.wb[len(m.wb)-1]
+	}
+	m.wb = append(m.wb, last+uint64(p.WriteBufferDrainCycles))
+}
+
+func (m *Machine) illegal(ctx *Context) Event {
+	return Event{Kind: EventFault, Fault: &Fault{FaultIllegal, ctx.PC}}
+}
+
+func branchTarget(pc uint32, off int32) uint32 {
+	return uint32(int64(pc) + 4 + int64(off)*4)
+}
+
+// Micros converts the machine's accumulated cycle count to microseconds.
+func (m *Machine) Micros() float64 { return m.Profile.Micros(m.Stats.Cycles) }
+
+// String summarizes the machine state for diagnostics.
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine[%s]: %d instrs, %d cycles",
+		m.Profile.Name, m.Stats.Instructions, m.Stats.Cycles)
+}

@@ -1,0 +1,143 @@
+// Package vmach implements the simulated uniprocessor: a paged word-addressed
+// memory and a cycle-counting interpreter for the internal/isa instruction
+// set. Thread contexts, scheduling, traps and the restartable-atomic-sequence
+// machinery live one level up, in vmach/kernel, which drives this machine.
+package vmach
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Page geometry: 4 KiB pages of 1024 words, as on the R3000.
+const (
+	PageShift = 12
+	PageSize  = 1 << PageShift
+	PageWords = PageSize / 4
+)
+
+// FaultKind classifies memory and instruction faults.
+type FaultKind int
+
+const (
+	FaultNone FaultKind = iota
+	FaultUnaligned
+	FaultNotPresent // page fault
+	FaultIllegal    // undefined or unsupported instruction
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultNone:
+		return "none"
+	case FaultUnaligned:
+		return "unaligned access"
+	case FaultNotPresent:
+		return "page fault"
+	case FaultIllegal:
+		return "illegal instruction"
+	}
+	return fmt.Sprintf("fault?%d", int(k))
+}
+
+// Fault describes a failed access.
+type Fault struct {
+	Kind FaultKind
+	Addr uint32 // faulting address (or PC for illegal instructions)
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%v at %#x", f.Kind, f.Addr)
+}
+
+// Memory is a sparse paged physical memory. Pages are allocated on first
+// touch; tests and the kernel can additionally mark pages not-present to
+// exercise page-fault paths (§4 of the paper discusses PC checks that can
+// themselves fault).
+type Memory struct {
+	pages      map[uint32]*[PageWords]isa.Word
+	notPresent map[uint32]bool // page number -> forced page fault
+	// PageFaults counts not-present faults taken.
+	PageFaults uint64
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{
+		pages:      make(map[uint32]*[PageWords]isa.Word),
+		notPresent: make(map[uint32]bool),
+	}
+}
+
+func (m *Memory) page(addr uint32) *[PageWords]isa.Word {
+	pn := addr >> PageShift
+	p := m.pages[pn]
+	if p == nil {
+		p = new([PageWords]isa.Word)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// SetPresent marks the page containing addr present (true) or not-present
+// (false). Accessing a not-present page raises FaultNotPresent; the page's
+// contents are preserved.
+func (m *Memory) SetPresent(addr uint32, present bool) {
+	pn := addr >> PageShift
+	if present {
+		delete(m.notPresent, pn)
+	} else {
+		m.notPresent[pn] = true
+	}
+}
+
+// Present reports whether the page containing addr is present.
+func (m *Memory) Present(addr uint32) bool {
+	return !m.notPresent[addr>>PageShift]
+}
+
+func (m *Memory) check(addr uint32) *Fault {
+	if addr&3 != 0 {
+		return &Fault{FaultUnaligned, addr}
+	}
+	if m.notPresent[addr>>PageShift] {
+		m.PageFaults++
+		return &Fault{FaultNotPresent, addr}
+	}
+	return nil
+}
+
+// LoadWord reads the word at addr.
+func (m *Memory) LoadWord(addr uint32) (isa.Word, *Fault) {
+	if f := m.check(addr); f != nil {
+		return 0, f
+	}
+	return m.page(addr)[addr>>2&(PageWords-1)], nil
+}
+
+// StoreWord writes the word at addr.
+func (m *Memory) StoreWord(addr uint32, v isa.Word) *Fault {
+	if f := m.check(addr); f != nil {
+		return f
+	}
+	m.page(addr)[addr>>2&(PageWords-1)] = v
+	return nil
+}
+
+// Peek reads a word ignoring presence bits (for debuggers and tests).
+func (m *Memory) Peek(addr uint32) isa.Word {
+	return m.page(addr)[addr>>2&(PageWords-1)]
+}
+
+// Poke writes a word ignoring presence bits.
+func (m *Memory) Poke(addr uint32, v isa.Word) {
+	m.page(addr)[addr>>2&(PageWords-1)] = v
+}
+
+// LoadProgramWords copies words into memory starting at base.
+func (m *Memory) LoadProgramWords(base uint32, words []isa.Word) {
+	for i, w := range words {
+		m.Poke(base+uint32(i*4), w)
+	}
+}
