@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables examples fuzz fmt vet clean
+.PHONY: all build test race cover bench tables chaos examples fuzz fmt vet clean tier1
 
 all: build vet test
 
@@ -14,7 +14,10 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/uniproc/ ./internal/core/ ./internal/cthreads/ ./internal/rseq/
+	$(GO) test -race ./...
+
+# Everything CI gates on: compile, static checks, tests, race detector.
+tier1: build vet test race
 
 cover:
 	$(GO) test -cover ./internal/...
@@ -26,6 +29,10 @@ bench:
 # The same tables as human-readable output (see EXPERIMENTS.md).
 tables:
 	$(GO) run ./cmd/rasbench -iters 50000
+
+# Seeded fault-injection sweep; failures print a one-line seed reproducer.
+chaos:
+	$(GO) run ./cmd/rasbench -table chaos
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -39,6 +46,7 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/asm/
+	$(GO) test -fuzz=FuzzRecognizer -fuzztime=30s ./internal/vmach/kernel/
 
 fmt:
 	gofmt -w .

@@ -11,7 +11,8 @@
 // Tables: 1 (microbenchmarks), 2 (thread management), 3 (applications),
 // 4 (eight architectures), i860 (§7 lock bit), lamport (reservation
 // protocols), holdups (§5.3 parthenon-10 analysis), ablation (§4.1 check
-// placement).
+// placement), chaos (seeded fault-injection sweep; failures print a
+// one-line seed reproducer, replayable with -seed/-level).
 package main
 
 import (
@@ -24,18 +25,21 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,all")
+	table := flag.String("table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,all")
 	itersF := flag.Int("iters", 20000, "microbenchmark loop iterations")
 	scale := flag.Int("scale", 1, "table 3 workload multiplier")
+	seed := flag.Uint64("seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
+	level := flag.Float64("level", 0, "chaos fault intensity in (0,1]; 0 sweeps the default levels")
+	timeout := flag.Uint64("timeout", 0, "cycle budget per run (0 = substrate default); a livelocked guest exits nonzero")
 	flag.Parse()
 
-	if err := run(*table, *itersF, *scale); err != nil {
+	if err := run(*table, *itersF, *scale, *seed, *level, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "rasbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, iters, scale int) error {
+func run(table string, iters, scale int, seed uint64, level float64, timeout uint64) error {
 	all := table == "all"
 	section := func(title string) { fmt.Printf("\n== %s ==\n\n", title) }
 
@@ -142,9 +146,25 @@ func run(table string, iters, scale int) error {
 		}
 		fmt.Print(bench.FormatServerWorkers(rows))
 	}
+	if all || table == "chaos" {
+		section("Chaos sweep: seeded fault injection, watchdog, degradation")
+		cfg := bench.DefaultChaosConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		if level > 0 {
+			cfg.Levels = []float64{level}
+		}
+		cfg.MaxCycles = timeout
+		rows, err := bench.TableChaos(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatChaos(rows))
+	}
 	switch table {
 	case "all", "1", "2", "3", "4", "i860", "lamport", "holdups", "ablation",
-		"wbuf", "ranges", "quantum", "workers":
+		"wbuf", "ranges", "quantum", "workers", "chaos":
 		return nil
 	}
 	return fmt.Errorf("unknown table %q", table)

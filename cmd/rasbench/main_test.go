@@ -5,26 +5,39 @@ import "testing"
 func TestRunEachTable(t *testing.T) {
 	// Small iteration counts: this verifies wiring, not statistics.
 	for _, table := range []string{"1", "2", "4", "i860", "lamport", "ablation", "wbuf", "ranges", "quantum", "workers"} {
-		if err := run(table, 500, 1); err != nil {
+		if err := run(table, 500, 1, 0, 0, 0); err != nil {
 			t.Errorf("table %s: %v", table, err)
 		}
 	}
 }
 
 func TestRunTable3Small(t *testing.T) {
-	if err := run("3", 500, 1); err != nil {
+	if err := run("3", 500, 1, 0, 0, 0); err != nil {
 		t.Errorf("table 3: %v", err)
 	}
 }
 
 func TestRunHoldups(t *testing.T) {
-	if err := run("holdups", 500, 1); err != nil {
+	if err := run("holdups", 500, 1, 0, 0, 0); err != nil {
 		t.Errorf("holdups: %v", err)
 	}
 }
 
+func TestRunChaos(t *testing.T) {
+	if err := run("chaos", 500, 1, 0, 0, 0); err != nil {
+		t.Errorf("chaos: %v", err)
+	}
+}
+
+func TestRunChaosSeedReplay(t *testing.T) {
+	// The -seed/-level replay path used by one-line reproducers.
+	if err := run("chaos", 500, 1, 0xBEEF, 1, 0); err != nil {
+		t.Errorf("chaos replay: %v", err)
+	}
+}
+
 func TestRunUnknownTable(t *testing.T) {
-	if err := run("nonesuch", 100, 1); err == nil {
+	if err := run("nonesuch", 100, 1, 0, 0, 0); err == nil {
 		t.Error("unknown table accepted")
 	}
 }

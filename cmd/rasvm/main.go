@@ -14,28 +14,47 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/arch"
 	"repro/internal/asm"
+	"repro/internal/chaos"
 	"repro/internal/guest"
 	"repro/internal/vmach/kernel"
 )
 
+// options collects everything the CLI configures for one run.
+type options struct {
+	arch, strategy, checkAt string
+	quantum                 uint64
+	demo, mech              string
+	workers, iters, trace   int
+	timeout                 uint64 // cycle budget; 0 = kernel default
+	watchdog                string // off, extend, abort
+	maxRestarts             uint64
+	args                    []string
+}
+
 func main() {
-	archName := flag.String("arch", "r3000", "processor profile (see -list)")
-	strategy := flag.String("strategy", "registration", "recovery strategy: none, registration, designated, userlevel")
-	checkAt := flag.String("check", "suspend", "PC check placement: suspend, resume")
-	quantum := flag.Uint64("quantum", 10000, "timeslice in cycles")
-	demo := flag.String("demo", "", "built-in workload: counter")
-	mech := flag.String("mech", "registered", "demo mechanism: none, registered, designated, emulation, interlocked, lockbit, userlevel, lamport-a, lamport-b, taos-mutex")
-	workers := flag.Int("workers", 4, "demo worker threads")
-	itersF := flag.Int("iters", 1000, "demo iterations per worker")
+	var o options
+	flag.StringVar(&o.arch, "arch", "r3000", "processor profile (see -list)")
+	flag.StringVar(&o.strategy, "strategy", "registration", "recovery strategy: none, registration, designated, userlevel")
+	flag.StringVar(&o.checkAt, "check", "suspend", "PC check placement: suspend, resume")
+	flag.Uint64Var(&o.quantum, "quantum", 10000, "timeslice in cycles")
+	flag.StringVar(&o.demo, "demo", "", "built-in workload: counter")
+	flag.StringVar(&o.mech, "mech", "registered", "demo mechanism: none, registered, designated, emulation, interlocked, lockbit, userlevel, lamport-a, lamport-b, taos-mutex")
+	flag.IntVar(&o.workers, "workers", 4, "demo worker threads")
+	flag.IntVar(&o.iters, "iters", 1000, "demo iterations per worker")
 	list := flag.Bool("list", false, "list processor profiles and exit")
-	trace := flag.Int("trace", 0, "print the last N kernel events (0 disables tracing)")
+	flag.IntVar(&o.trace, "trace", 0, "print the last N kernel events (0 disables tracing)")
+	flag.Uint64Var(&o.timeout, "timeout", 0, "cycle budget (0 = default); a livelocked guest exits nonzero with a diagnostic")
+	flag.StringVar(&o.watchdog, "watchdog", "off", "restart-livelock watchdog: off, extend, abort")
+	flag.Uint64Var(&o.maxRestarts, "maxrestarts", 0, "watchdog consecutive-restart threshold (0 = default 32)")
 	flag.Parse()
+	o.args = flag.Args()
 
 	if *list {
 		for _, n := range arch.Names() {
@@ -43,20 +62,19 @@ func main() {
 		}
 		return
 	}
-	if err := run(*archName, *strategy, *checkAt, *quantum, *demo, *mech, *workers, *itersF, *trace, flag.Args()); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "rasvm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(archName, strategy, checkAt string, quantum uint64,
-	demo, mech string, workers, iters, trace int, args []string) error {
-	prof := arch.ByName(archName)
+func run(o options) error {
+	prof := arch.ByName(o.arch)
 	if prof == nil {
-		return fmt.Errorf("unknown architecture %q (try -list)", archName)
+		return fmt.Errorf("unknown architecture %q (try -list)", o.arch)
 	}
 	var strat kernel.Strategy
-	switch strategy {
+	switch o.strategy {
 	case "none":
 		strat = kernel.NoRecovery{}
 	case "registration":
@@ -66,27 +84,37 @@ func run(archName, strategy, checkAt string, quantum uint64,
 	case "userlevel":
 		strat = &kernel.UserLevel{}
 	default:
-		return fmt.Errorf("unknown strategy %q", strategy)
+		return fmt.Errorf("unknown strategy %q", o.strategy)
 	}
 	at := kernel.CheckAtSuspend
-	if checkAt == "resume" {
+	if o.checkAt == "resume" {
 		at = kernel.CheckAtResume
-	} else if checkAt != "suspend" {
-		return fmt.Errorf("unknown check placement %q", checkAt)
+	} else if o.checkAt != "suspend" {
+		return fmt.Errorf("unknown check placement %q", o.checkAt)
+	}
+	var wd chaos.Watchdog
+	switch o.watchdog {
+	case "off", "":
+	case "extend":
+		wd = chaos.Watchdog{Policy: chaos.WatchdogExtend, MaxRestarts: o.maxRestarts}
+	case "abort":
+		wd = chaos.Watchdog{Policy: chaos.WatchdogAbort, MaxRestarts: o.maxRestarts}
+	default:
+		return fmt.Errorf("unknown watchdog policy %q", o.watchdog)
 	}
 
 	var src string
 	switch {
-	case demo == "counter":
-		m, err := mechByName(mech)
+	case o.demo == "counter":
+		m, err := mechByName(o.mech)
 		if err != nil {
 			return err
 		}
-		src = guest.MutexCounterProgram(m, workers, iters)
-	case demo != "":
-		return fmt.Errorf("unknown demo %q", demo)
-	case len(args) == 1:
-		raw, err := os.ReadFile(args[0])
+		src = guest.MutexCounterProgram(m, o.workers, o.iters)
+	case o.demo != "":
+		return fmt.Errorf("unknown demo %q", o.demo)
+	case len(o.args) == 1:
+		raw, err := os.ReadFile(o.args[0])
 		if err != nil {
 			return err
 		}
@@ -99,10 +127,11 @@ func run(archName, strategy, checkAt string, quantum uint64,
 	if err != nil {
 		return err
 	}
-	k := kernel.New(kernel.Config{Profile: prof, Strategy: strat, CheckAt: at, Quantum: quantum})
+	k := kernel.New(kernel.Config{Profile: prof, Strategy: strat, CheckAt: at,
+		Quantum: o.quantum, MaxCycles: o.timeout, Watchdog: wd})
 	var tracer *kernel.RingTracer
-	if trace > 0 {
-		tracer = kernel.NewRingTracer(trace)
+	if o.trace > 0 {
+		tracer = kernel.NewRingTracer(o.trace)
 		k.Tracer = tracer
 	}
 	k.Load(prog)
@@ -114,7 +143,7 @@ func run(archName, strategy, checkAt string, quantum uint64,
 	runErr := k.Run()
 
 	fmt.Printf("profile:       %s\n", prof)
-	fmt.Printf("strategy:      %s (check at %s)\n", strat.Name(), checkAt)
+	fmt.Printf("strategy:      %s (check at %s)\n", strat.Name(), o.checkAt)
 	fmt.Printf("instructions:  %d\n", k.M.Stats.Instructions)
 	fmt.Printf("cycles:        %d (%.2f us)\n", k.M.Stats.Cycles, k.Micros())
 	fmt.Printf("suspensions:   %d (preemptions %d, page faults %d)\n",
@@ -122,9 +151,13 @@ func run(archName, strategy, checkAt string, quantum uint64,
 	fmt.Printf("restarts:      %d (check rejects %d)\n", k.Stats.Restarts, k.Stats.CheckRejects)
 	fmt.Printf("emul traps:    %d, syscalls %d, switches %d\n",
 		k.Stats.EmulTraps, k.Stats.Syscalls, k.Stats.Switches)
-	if demo == "counter" {
+	if k.Stats.WatchdogExtends > 0 || k.Stats.WatchdogAborts > 0 {
+		fmt.Printf("watchdog:      %d extensions, %d aborts\n",
+			k.Stats.WatchdogExtends, k.Stats.WatchdogAborts)
+	}
+	if o.demo == "counter" {
 		got := k.M.Mem.Peek(prog.MustSymbol("counter"))
-		want := uint32(workers * iters)
+		want := uint32(o.workers * o.iters)
 		status := "CORRECT"
 		if got != want {
 			status = "LOST UPDATES"
@@ -136,6 +169,15 @@ func run(archName, strategy, checkAt string, quantum uint64,
 	}
 	if tracer != nil {
 		fmt.Printf("\nlast %d of %d kernel events:\n%s", len(tracer.Events()), tracer.Total(), tracer)
+	}
+	if errors.Is(runErr, kernel.ErrLivelock) || errors.Is(runErr, kernel.ErrBudget) {
+		// A livelocked or overrunning guest: name each thread's last PC and
+		// restart count so the offending sequence is identifiable.
+		fmt.Printf("\nguest did not finish (%v); thread states:\n", runErr)
+		for _, th := range k.Threads() {
+			fmt.Printf("  thread %-2d %-8s pc=%#08x restarts=%d suspensions=%d\n",
+				th.ID, th.State, th.Ctx.PC, th.Restarts, th.Suspensions)
+		}
 	}
 	return runErr
 }

@@ -1,10 +1,21 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/vmach/kernel"
 )
+
+// demo builds options for the built-in counter workload.
+func demo(strategy, mech string, quantum uint64) options {
+	return options{
+		arch: "r3000", strategy: strategy, checkAt: "suspend", quantum: quantum,
+		demo: "counter", mech: mech, workers: 2, iters: 50, watchdog: "off",
+	}
+}
 
 func TestDemoCounterAllMechanisms(t *testing.T) {
 	cases := []struct {
@@ -18,28 +29,72 @@ func TestDemoCounterAllMechanisms(t *testing.T) {
 		{"none", "lamport-b"},
 	}
 	for _, c := range cases {
-		err := run("r3000", c.strategy, "suspend", 500, "counter", c.mech, 2, 50, 0, nil)
-		if err != nil {
+		if err := run(demo(c.strategy, c.mech, 500)); err != nil {
 			t.Errorf("%s/%s: %v", c.strategy, c.mech, err)
 		}
 	}
 }
 
 func TestDemoCounterInterlockedOn486(t *testing.T) {
-	if err := run("486", "none", "suspend", 500, "counter", "interlocked", 2, 50, 0, nil); err != nil {
+	o := demo("none", "interlocked", 500)
+	o.arch = "486"
+	if err := run(o); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestDemoWithTrace(t *testing.T) {
-	if err := run("r3000", "registration", "suspend", 53, "counter", "registered", 2, 50, 16, nil); err != nil {
+	o := demo("registration", "registered", 53)
+	o.trace = 16
+	if err := run(o); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestCheckAtResume(t *testing.T) {
-	if err := run("r3000", "designated", "resume", 211, "counter", "designated", 2, 50, 0, nil); err != nil {
+	o := demo("designated", "designated", 211)
+	o.checkAt = "resume"
+	if err := run(o); err != nil {
 		t.Error(err)
+	}
+}
+
+// -watchdog abort turns a §3.1 livelock (quantum shorter than the
+// sequence) into a nonzero exit with a diagnostic instead of running to
+// the cycle budget.
+func TestWatchdogAbortFlagCatchesLivelock(t *testing.T) {
+	o := demo("designated", "designated", 3)
+	o.checkAt = "resume"
+	o.workers, o.iters = 1, 1
+	o.watchdog = "abort"
+	o.maxRestarts = 20
+	err := run(o)
+	if !errors.Is(err, kernel.ErrLivelock) {
+		t.Errorf("err = %v, want livelock", err)
+	}
+}
+
+// -watchdog extend lets the same overlong sequence complete.
+func TestWatchdogExtendFlagCompletes(t *testing.T) {
+	o := demo("designated", "designated", 3)
+	o.checkAt = "resume"
+	o.workers, o.iters = 1, 5
+	o.watchdog = "extend"
+	o.maxRestarts = 12
+	if err := run(o); err != nil {
+		t.Error(err)
+	}
+}
+
+// -timeout bounds a livelocked guest when the watchdog is off.
+func TestTimeoutFlagBoundsLivelock(t *testing.T) {
+	o := demo("designated", "designated", 3)
+	o.checkAt = "resume"
+	o.workers, o.iters = 1, 1
+	o.timeout = 100_000
+	err := run(o)
+	if !errors.Is(err, kernel.ErrBudget) {
+		t.Errorf("err = %v, want budget exceeded", err)
 	}
 }
 
@@ -50,37 +105,51 @@ func TestSourceFile(t *testing.T) {
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("r3000", "none", "suspend", 1000, "", "", 0, 0, 0, []string{path}); err != nil {
+	o := options{arch: "r3000", strategy: "none", checkAt: "suspend",
+		quantum: 1000, watchdog: "off", args: []string{path}}
+	if err := run(o); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestErrors(t *testing.T) {
-	if err := run("pdp11", "none", "suspend", 100, "counter", "registered", 1, 1, 0, nil); err == nil {
+	bad := func(mutate func(*options)) options {
+		o := demo("registration", "registered", 100)
+		o.workers, o.iters = 1, 1
+		mutate(&o)
+		return o
+	}
+	if err := run(bad(func(o *options) { o.arch = "pdp11" })); err == nil {
 		t.Error("unknown arch accepted")
 	}
-	if err := run("r3000", "bogus", "suspend", 100, "counter", "registered", 1, 1, 0, nil); err == nil {
+	if err := run(bad(func(o *options) { o.strategy = "bogus" })); err == nil {
 		t.Error("unknown strategy accepted")
 	}
-	if err := run("r3000", "none", "sideways", 100, "counter", "registered", 1, 1, 0, nil); err == nil {
+	if err := run(bad(func(o *options) { o.checkAt = "sideways" })); err == nil {
 		t.Error("unknown check placement accepted")
 	}
-	if err := run("r3000", "none", "suspend", 100, "frobnicate", "", 1, 1, 0, nil); err == nil {
+	if err := run(bad(func(o *options) { o.demo = "frobnicate" })); err == nil {
 		t.Error("unknown demo accepted")
 	}
-	if err := run("r3000", "none", "suspend", 100, "counter", "warp-drive", 1, 1, 0, nil); err == nil {
+	if err := run(bad(func(o *options) { o.mech = "warp-drive" })); err == nil {
 		t.Error("unknown mechanism accepted")
 	}
-	if err := run("r3000", "none", "suspend", 100, "", "", 0, 0, 0, nil); err == nil {
+	if err := run(bad(func(o *options) { o.watchdog = "maybe" })); err == nil {
+		t.Error("unknown watchdog policy accepted")
+	}
+	if err := run(bad(func(o *options) { o.demo = "" })); err == nil {
 		t.Error("missing source file accepted")
 	}
-	if err := run("r3000", "none", "suspend", 100, "", "", 0, 0, 0, []string{"/nonexistent.s"}); err == nil {
+	if err := run(bad(func(o *options) { o.demo = ""; o.args = []string{"/nonexistent.s"} })); err == nil {
 		t.Error("unreadable source accepted")
 	}
 }
 
 func TestDemoTaosMutex(t *testing.T) {
-	if err := run("r3000", "designated", "resume", 97, "counter", "taos-mutex", 3, 80, 0, nil); err != nil {
+	o := demo("designated", "taos-mutex", 97)
+	o.checkAt = "resume"
+	o.workers, o.iters = 3, 80
+	if err := run(o); err != nil {
 		t.Error(err)
 	}
 }

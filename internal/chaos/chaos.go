@@ -1,0 +1,315 @@
+// Package chaos provides deterministic, seeded fault injection for both of
+// the repository's substrates: the ISA-level simulated kernel
+// (internal/vmach/kernel) and the primitive-op-level virtual uniprocessor
+// (internal/uniproc).
+//
+// The paper's central hazard is that a restartable atomic sequence is only
+// correct if it eventually completes, and only safe if the kernel's recovery
+// machinery survives the faults it can itself provoke: a sequence longer
+// than a quantum restarts forever (§3.1), and the PC check reads user memory
+// that may be paged out (§4.1-§4.2). The seed modelled these hazards ad hoc
+// (a fixed eviction period, a hand-rolled fault loop); this package makes
+// them systematic: an injection Plan is a pure function of (seed, point,
+// event ordinal), so any failure it provokes is replayable from a one-line
+// seed and any sweep is exactly repeatable.
+//
+// Both substrates drive a Plan through the same Injector interface at their
+// natural instrumentation points: the kernel at every dispatch, involuntary
+// suspension, and retired instruction; the uniprocessor runtime at every
+// dispatch and every Load/Store preemption point.
+//
+// The package also defines the Watchdog policy shared by both kernels: the
+// restart-livelock detector that notices a sequence restarting without
+// forward progress and either extends the quantum once or aborts the run
+// with a diagnostic naming the sequence.
+package chaos
+
+import "fmt"
+
+// Point identifies an instrumentation point at which a substrate consults
+// the injector.
+type Point int
+
+const (
+	// PointDispatch: a thread is being given the processor. Jitter is
+	// applied to the new timeslice here.
+	PointDispatch Point = iota
+	// PointSuspend: a thread was involuntarily suspended (timer, page
+	// fault, or an injected preemption). Page evictions are applied here,
+	// so the recovery machinery's own PC check can fault (§4.1).
+	PointSuspend
+	// PointStep: one guest instruction retired on the ISA-level machine.
+	// Forced preemptions and spurious suspensions land here.
+	PointStep
+	// PointMemOp: one guest Load/Store on the virtual uniprocessor — the
+	// runtime layer's preemption points.
+	PointMemOp
+)
+
+func (p Point) String() string {
+	switch p {
+	case PointDispatch:
+		return "dispatch"
+	case PointSuspend:
+		return "suspend"
+	case PointStep:
+		return "step"
+	case PointMemOp:
+		return "memop"
+	}
+	return "?"
+}
+
+// Action is the set of faults an injector asks the substrate to apply at a
+// point. Fields a substrate cannot honour (page evictions have no meaning
+// on the uniproc layer, which has no pages) are ignored.
+type Action struct {
+	// Preempt forces a timer-style involuntary preemption at this
+	// instruction/memory-op boundary, regardless of the remaining slice.
+	Preempt bool
+	// SpuriousSuspend suspends and immediately requeues the thread without
+	// a timer expiry — the "suspended for no visible reason" case (signal
+	// delivery, page daemon) that the recovery path must also survive.
+	SpuriousSuspend bool
+	// EvictCode marks the thread's code page not-present, so the next
+	// instruction fetch — or the kernel's own PC check — page-faults.
+	EvictCode bool
+	// EvictData marks the thread's stack page not-present.
+	EvictData bool
+	// Jitter is added to the length of the timeslice being started
+	// (possibly negative; substrates clamp so a slice is never empty).
+	Jitter int64
+}
+
+// Any reports whether the action requests any fault at all.
+func (a Action) Any() bool {
+	return a.Preempt || a.SpuriousSuspend || a.EvictCode || a.EvictData || a.Jitter != 0
+}
+
+// Bits packs the action's flags for compact trace output.
+func (a Action) Bits() uint64 {
+	var b uint64
+	if a.Preempt {
+		b |= 1
+	}
+	if a.SpuriousSuspend {
+		b |= 2
+	}
+	if a.EvictCode {
+		b |= 4
+	}
+	if a.EvictData {
+		b |= 8
+	}
+	return b
+}
+
+// Injector is consulted by a substrate at each instrumentation point; n is
+// the ordinal of that point kind (1st dispatch, 2nd dispatch, ...), so a
+// deterministic injector yields an exactly reproducible fault schedule.
+type Injector interface {
+	At(p Point, n uint64) Action
+}
+
+// Plan is the deterministic seeded injector: every decision is a pure
+// function of (Seed, point, ordinal). Rates are probabilities in units of
+// 1/65536 per opportunity.
+type Plan struct {
+	Seed  uint64
+	Level float64 // intensity this plan was built with (informational)
+
+	PreemptRate   uint32 // forced preemption, per retired step / mem op
+	SpuriousRate  uint32 // spurious suspension, per retired step / mem op
+	EvictCodeRate uint32 // code-page eviction, per involuntary suspension
+	EvictDataRate uint32 // stack-page eviction, per involuntary suspension
+	MaxJitter     int64  // timeslice jitter amplitude (cycles), per dispatch
+}
+
+// NewPlan derives a Plan from a seed and an intensity level in [0,1]:
+// level 0 injects nothing; level 1 forces a preemption about every 64
+// instructions, a spurious suspension about every 128, evicts the code page
+// on one suspension in eight and the stack page on one in sixteen, and
+// jitters every timeslice by up to ±2000 cycles.
+func NewPlan(seed uint64, level float64) *Plan {
+	if level < 0 {
+		level = 0
+	}
+	if level > 1 {
+		level = 1
+	}
+	return &Plan{
+		Seed:          seed,
+		Level:         level,
+		PreemptRate:   uint32(level * 1024),
+		SpuriousRate:  uint32(level * 512),
+		EvictCodeRate: uint32(level * 8192),
+		EvictDataRate: uint32(level * 4096),
+		MaxJitter:     int64(level * 2000),
+	}
+}
+
+// At implements Injector.
+func (p *Plan) At(pt Point, n uint64) Action {
+	var a Action
+	h := Derive(p.Seed, uint64(pt)+1, n)
+	switch pt {
+	case PointStep, PointMemOp:
+		if uint32(h&0xFFFF) < p.PreemptRate {
+			a.Preempt = true
+		}
+		if uint32(h>>16&0xFFFF) < p.SpuriousRate {
+			a.SpuriousSuspend = true
+		}
+	case PointSuspend:
+		if uint32(h&0xFFFF) < p.EvictCodeRate {
+			a.EvictCode = true
+		}
+		if uint32(h>>16&0xFFFF) < p.EvictDataRate {
+			a.EvictData = true
+		}
+	case PointDispatch:
+		if p.MaxJitter > 0 {
+			span := uint64(2*p.MaxJitter + 1)
+			a.Jitter = int64(h%span) - p.MaxJitter
+		}
+	}
+	return a
+}
+
+// Repro renders the one-line reproducer for this plan against the chaos
+// table of cmd/rasbench.
+func (p *Plan) Repro() string {
+	return fmt.Sprintf("go run ./cmd/rasbench -table chaos -seed %#x -level %g", p.Seed, p.Level)
+}
+
+// splitmix64 is the SplitMix64 output function: a bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Derive folds vals into seed with SplitMix64, producing an independent
+// deterministic stream per distinct argument tuple. Exported so tests and
+// harnesses can derive per-scenario seeds from one master seed.
+func Derive(seed uint64, vals ...uint64) uint64 {
+	h := splitmix64(seed)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// Watchdog policies ----------------------------------------------------------
+
+// WatchdogPolicy selects how a kernel responds when one restartable
+// sequence keeps restarting without forward progress.
+type WatchdogPolicy int
+
+const (
+	// WatchdogOff disables livelock detection (the seed's behaviour).
+	WatchdogOff WatchdogPolicy = iota
+	// WatchdogExtend grants the livelocked thread one extended timeslice
+	// (Factor × quantum) so a sequence slightly longer than the quantum can
+	// complete; if the livelock persists after the extension, it escalates
+	// to an abort.
+	WatchdogExtend
+	// WatchdogAbort aborts the run immediately with a diagnostic naming
+	// the sequence and its restart count.
+	WatchdogAbort
+)
+
+func (p WatchdogPolicy) String() string {
+	switch p {
+	case WatchdogOff:
+		return "off"
+	case WatchdogExtend:
+		return "extend"
+	case WatchdogAbort:
+		return "abort"
+	}
+	return "?"
+}
+
+// Watchdog configures restart-livelock detection, shared by both kernels.
+// A thread whose restart count for one sequence reaches Limit() without an
+// intervening suspension outside the sequence is considered livelocked.
+type Watchdog struct {
+	Policy WatchdogPolicy
+	// MaxRestarts is the consecutive-restart threshold; 0 means 32.
+	MaxRestarts uint64
+	// ExtendFactor is the one-time quantum multiplier granted under
+	// WatchdogExtend; 0 means 4.
+	ExtendFactor uint64
+}
+
+// Limit returns the effective consecutive-restart threshold.
+func (w Watchdog) Limit() uint64 {
+	if w.MaxRestarts == 0 {
+		return 32
+	}
+	return w.MaxRestarts
+}
+
+// Factor returns the effective quantum-extension multiplier.
+func (w Watchdog) Factor() uint64 {
+	if w.ExtendFactor == 0 {
+		return 4
+	}
+	return w.ExtendFactor
+}
+
+// Sequence mutation ----------------------------------------------------------
+
+// MutationKind names what MutateWords did, for diagnostics.
+type MutationKind int
+
+const (
+	// MutateNop replaces one word with 0 (a no-op) — applied to the
+	// landmark slot this is the "landmark-stripped sequence" case.
+	MutateNop MutationKind = iota
+	// MutateFlip flips one bit of one word.
+	MutateFlip
+	// MutateReplace replaces one word with a pseudo-random word.
+	MutateReplace
+	numMutations
+)
+
+func (m MutationKind) String() string {
+	switch m {
+	case MutateNop:
+		return "nop-strip"
+	case MutateFlip:
+		return "bit-flip"
+	case MutateReplace:
+		return "replace"
+	}
+	return "?"
+}
+
+// MutateWords returns a deterministically corrupted copy of words — the
+// corrupted/landmark-stripped designated sequences of the plan. The n-th
+// mutation for a seed is always the same: one word is chosen and either
+// nop-stripped, bit-flipped, or replaced wholesale. The recognizer-safety
+// sweeps feed these to the kernel's two-stage check, which must never roll
+// a PC back unless the window still certifies as a true sequence.
+func MutateWords(seed, n uint64, words []uint32) ([]uint32, int, MutationKind) {
+	out := make([]uint32, len(words))
+	copy(out, words)
+	if len(out) == 0 {
+		return out, 0, MutateNop
+	}
+	h := Derive(seed, 0xC0FFEE, n)
+	idx := int(h % uint64(len(out)))
+	kind := MutationKind(h >> 8 % uint64(numMutations))
+	switch kind {
+	case MutateNop:
+		out[idx] = 0
+	case MutateFlip:
+		out[idx] ^= 1 << (h >> 16 % 32)
+	case MutateReplace:
+		out[idx] = uint32(h >> 24)
+	}
+	return out, idx, kind
+}

@@ -1,0 +1,202 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// A Plan is a pure function of (seed, point, ordinal): two plans built from
+// the same seed and level must agree everywhere.
+func TestPlanDeterministic(t *testing.T) {
+	f := func(seed uint64, lvl8 uint8, pt8 uint8, n uint64) bool {
+		level := float64(lvl8) / 255
+		a := NewPlan(seed, level)
+		b := NewPlan(seed, level)
+		pt := Point(pt8 % 4)
+		return a.At(pt, n) == b.At(pt, n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanLevelZeroInjectsNothing(t *testing.T) {
+	p := NewPlan(12345, 0)
+	for pt := PointDispatch; pt <= PointMemOp; pt++ {
+		for n := uint64(0); n < 5000; n++ {
+			if a := p.At(pt, n); a.Any() {
+				t.Fatalf("level-0 plan injected %+v at %v/%d", a, pt, n)
+			}
+		}
+	}
+}
+
+func TestPlanLevelOneInjectsEverything(t *testing.T) {
+	p := NewPlan(99, 1)
+	var preempts, spurious, evCode, evData, jitters int
+	for n := uint64(0); n < 100000; n++ {
+		if a := p.At(PointStep, n); a.Preempt {
+			preempts++
+		} else if a.SpuriousSuspend {
+			spurious++
+		}
+		if a := p.At(PointSuspend, n); a.EvictCode {
+			evCode++
+		} else if a.EvictData {
+			evData++
+		}
+		if a := p.At(PointDispatch, n); a.Jitter != 0 {
+			jitters++
+		}
+	}
+	for name, c := range map[string]int{
+		"preempt": preempts, "spurious": spurious,
+		"evict-code": evCode, "evict-data": evData, "jitter": jitters,
+	} {
+		if c == 0 {
+			t.Errorf("level-1 plan never injected %s in 100k opportunities", name)
+		}
+	}
+	// Rate sanity: the forced-preemption rate is 1024/65536 = 1/64.
+	if preempts < 100000/128 || preempts > 100000/32 {
+		t.Errorf("preempt count %d far from expected ~%d", preempts, 100000/64)
+	}
+}
+
+func TestPlanLevelClamped(t *testing.T) {
+	lo, hi := NewPlan(1, -3), NewPlan(1, 7)
+	if lo.PreemptRate != 0 || lo.MaxJitter != 0 {
+		t.Errorf("negative level not clamped: %+v", lo)
+	}
+	if hi.PreemptRate != 1024 {
+		t.Errorf("level > 1 not clamped: %+v", hi)
+	}
+}
+
+func TestJitterBounded(t *testing.T) {
+	p := NewPlan(7, 1)
+	for n := uint64(0); n < 20000; n++ {
+		j := p.At(PointDispatch, n).Jitter
+		if j < -p.MaxJitter || j > p.MaxJitter {
+			t.Fatalf("jitter %d outside ±%d", j, p.MaxJitter)
+		}
+	}
+}
+
+func TestDeriveIndependentStreams(t *testing.T) {
+	// Distinct argument tuples must (overwhelmingly) produce distinct
+	// values; identical tuples identical ones.
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		seen[Derive(42, i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("Derive collided: %d distinct of 1000", len(seen))
+	}
+	if Derive(42, 1, 2) != Derive(42, 1, 2) {
+		t.Error("Derive not deterministic")
+	}
+	if Derive(42, 1, 2) == Derive(42, 2, 1) {
+		t.Error("Derive ignores argument order")
+	}
+}
+
+func TestActionBitsAndAny(t *testing.T) {
+	if (Action{}).Any() {
+		t.Error("zero action reported Any")
+	}
+	a := Action{Preempt: true, EvictData: true}
+	if !a.Any() || a.Bits() != 1|8 {
+		t.Errorf("bits = %#x", a.Bits())
+	}
+	if !(Action{Jitter: -5}).Any() {
+		t.Error("jitter-only action not Any")
+	}
+}
+
+func TestMutateWordsDeterministicAndSingleWord(t *testing.T) {
+	words := []uint32{0x8C820000, 0x34080001, 0x14400003, 0x0000003F, 0xAC880000}
+	for n := uint64(0); n < 200; n++ {
+		m1, idx1, k1 := MutateWords(5, n, words)
+		m2, idx2, k2 := MutateWords(5, n, words)
+		if idx1 != idx2 || k1 != k2 {
+			t.Fatalf("mutation %d not deterministic", n)
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("mutation %d words differ at %d", n, i)
+			}
+		}
+		diff := 0
+		for i := range words {
+			if m1[i] != words[i] {
+				diff++
+				if i != idx1 {
+					t.Fatalf("mutation %d changed word %d, reported %d", n, i, idx1)
+				}
+			}
+		}
+		if diff > 1 {
+			t.Fatalf("mutation %d changed %d words", n, diff)
+		}
+	}
+	// The original must never be aliased.
+	m, _, _ := MutateWords(5, 0, words)
+	m[0] = 0xDEAD
+	if words[0] == 0xDEAD {
+		t.Error("MutateWords aliased its input")
+	}
+}
+
+func TestMutateWordsEmpty(t *testing.T) {
+	m, _, _ := MutateWords(1, 1, nil)
+	if len(m) != 0 {
+		t.Errorf("mutating empty slice produced %v", m)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for pt, want := range map[Point]string{
+		PointDispatch: "dispatch", PointSuspend: "suspend",
+		PointStep: "step", PointMemOp: "memop", Point(99): "?",
+	} {
+		if pt.String() != want {
+			t.Errorf("%d.String() = %q", int(pt), pt.String())
+		}
+	}
+	for p, want := range map[WatchdogPolicy]string{
+		WatchdogOff: "off", WatchdogExtend: "extend", WatchdogAbort: "abort",
+	} {
+		if p.String() != want {
+			t.Errorf("policy %d = %q want %q", int(p), p.String(), want)
+		}
+	}
+	for k, want := range map[MutationKind]string{
+		MutateNop: "nop-strip", MutateFlip: "bit-flip", MutateReplace: "replace",
+	} {
+		if k.String() != want {
+			t.Errorf("mutation %d = %q want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestWatchdogDefaults(t *testing.T) {
+	var w Watchdog
+	if w.Limit() != 32 || w.Factor() != 4 {
+		t.Errorf("defaults: limit %d factor %d", w.Limit(), w.Factor())
+	}
+	w = Watchdog{MaxRestarts: 7, ExtendFactor: 2}
+	if w.Limit() != 7 || w.Factor() != 2 {
+		t.Errorf("overrides: limit %d factor %d", w.Limit(), w.Factor())
+	}
+}
+
+func TestRepro(t *testing.T) {
+	p := NewPlan(0xBEEF, 0.5)
+	r := p.Repro()
+	if !strings.Contains(r, "-seed 0xbeef") || !strings.Contains(r, "-level 0.5") ||
+		!strings.Contains(r, "-table chaos") {
+		t.Errorf("repro line %q missing fields", r)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"repro/internal/uniproc"
+)
+
+// Bounded is implemented by mechanisms whose atomic operations can be
+// attempted with a bounded number of sequence restarts, reporting failure
+// instead of retrying forever. RAS implements it via Env.TryRestartable;
+// abandoning is safe because an uncommitted attempt has no visible write.
+type Bounded interface {
+	Mechanism
+	// TryTestAndSet is TestAndSet bounded to maxRestarts rollbacks; ok is
+	// false if the bound was hit (and the word is untouched).
+	TryTestAndSet(e *uniproc.Env, w *Word, maxRestarts uint64) (old Word, ok bool)
+	// TryFetchAndAdd is FetchAndAdd bounded the same way.
+	TryFetchAndAdd(e *uniproc.Env, w *Word, delta Word, maxRestarts uint64) (old Word, ok bool)
+}
+
+// TryTestAndSet implements Bounded.
+func (r *RAS) TryTestAndSet(e *uniproc.Env, w *Word, maxRestarts uint64) (Word, bool) {
+	if !r.Inline {
+		e.ChargeCall()
+	}
+	var old Word
+	ok := e.TryRestartable(maxRestarts, func() {
+		old = e.Load(w)
+		e.ChargeALU(1)
+		e.Commit(w, 1)
+	})
+	return old, ok
+}
+
+// TryFetchAndAdd implements Bounded.
+func (r *RAS) TryFetchAndAdd(e *uniproc.Env, w *Word, delta Word, maxRestarts uint64) (Word, bool) {
+	if !r.Inline {
+		e.ChargeCall()
+	}
+	var old Word
+	ok := e.TryRestartable(maxRestarts, func() {
+		old = e.Load(w)
+		e.ChargeALU(1)
+		e.Commit(w, old+delta)
+	})
+	return old, ok
+}
+
+// Degrading is an adaptive Mechanism: it runs a fast optimistic mechanism
+// (typically RAS) while it behaves, monitors its restart rate, and
+// permanently demotes to a pessimistic fallback (typically kernel
+// emulation) when the sequence proves pathological — either a single
+// operation exceeding OpRestartLimit rollbacks (the §3.1 livelock, on a
+// Bounded fast path), or a sustained restart rate above RateNum/RateDen
+// over a Window of operations. Demotion is one-way: a sequence that cannot
+// fit the quantum today will not fit it tomorrow, and emulation is always
+// correct, just slower. Demotions are recorded in the processor's stats
+// and trace via Env.CountDemotion.
+//
+// Degrading is built for the virtual uniprocessor's single-baton
+// discipline: its counters need no synchronization because at most one
+// thread executes at a time.
+type Degrading struct {
+	fast Mechanism
+	slow Mechanism
+
+	// OpRestartLimit bounds a single operation's restarts before demotion
+	// when fast is Bounded; 0 means 16.
+	OpRestartLimit uint64
+	// Window is the number of operations per rate-monitoring window; 0
+	// means 64.
+	Window uint64
+	// RateNum/RateDen is the demotion threshold for restarts per attempt
+	// over a window; both 0 means 1/2.
+	RateNum, RateDen uint64
+
+	attempts uint64 // fast-path operations this window
+	restarts uint64 // rollbacks observed this window
+	demoted  bool
+}
+
+// NewDegrading wraps fast with adaptive demotion to slow.
+func NewDegrading(fast, slow Mechanism) *Degrading {
+	return &Degrading{fast: fast, slow: slow}
+}
+
+// Name implements Mechanism.
+func (d *Degrading) Name() string {
+	return "degrading(" + d.fast.Name() + "->" + d.slow.Name() + ")"
+}
+
+// Demoted reports whether the mechanism has fallen back permanently.
+func (d *Degrading) Demoted() bool { return d.demoted }
+
+func (d *Degrading) opLimit() uint64 {
+	if d.OpRestartLimit == 0 {
+		return 16
+	}
+	return d.OpRestartLimit
+}
+
+func (d *Degrading) window() uint64 {
+	if d.Window == 0 {
+		return 64
+	}
+	return d.Window
+}
+
+func (d *Degrading) rate() (uint64, uint64) {
+	if d.RateNum == 0 && d.RateDen == 0 {
+		return 1, 2
+	}
+	return d.RateNum, d.RateDen
+}
+
+func (d *Degrading) demote(e *uniproc.Env) {
+	// A second thread may have been mid-attempt when the first demoted;
+	// count the transition once.
+	if d.demoted {
+		return
+	}
+	d.demoted = true
+	e.CountDemotion()
+}
+
+// observe accounts one fast-path operation and its rollbacks, demoting if
+// the windowed restart rate crosses the threshold.
+func (d *Degrading) observe(e *uniproc.Env, restarts uint64) {
+	d.attempts++
+	d.restarts += restarts
+	if d.attempts < d.window() {
+		return
+	}
+	num, den := d.rate()
+	if d.restarts*den >= d.attempts*num {
+		d.demote(e)
+		return
+	}
+	d.attempts, d.restarts = 0, 0
+}
+
+// TestAndSet implements Mechanism.
+func (d *Degrading) TestAndSet(e *uniproc.Env, w *Word) Word {
+	if d.demoted {
+		return d.slow.TestAndSet(e, w)
+	}
+	before := e.Self().Restarts
+	if b, ok := d.fast.(Bounded); ok {
+		old, done := b.TryTestAndSet(e, w, d.opLimit())
+		if !done {
+			d.demote(e)
+			return d.slow.TestAndSet(e, w)
+		}
+		d.observe(e, e.Self().Restarts-before)
+		return old
+	}
+	old := d.fast.TestAndSet(e, w)
+	d.observe(e, e.Self().Restarts-before)
+	return old
+}
+
+// Clear implements Mechanism: a release store is atomic either way.
+func (d *Degrading) Clear(e *uniproc.Env, w *Word) {
+	if d.demoted {
+		d.slow.Clear(e, w)
+		return
+	}
+	d.fast.Clear(e, w)
+}
+
+// FetchAndAdd implements Mechanism.
+func (d *Degrading) FetchAndAdd(e *uniproc.Env, w *Word, delta Word) Word {
+	if d.demoted {
+		return d.slow.FetchAndAdd(e, w, delta)
+	}
+	before := e.Self().Restarts
+	if b, ok := d.fast.(Bounded); ok {
+		old, done := b.TryFetchAndAdd(e, w, delta, d.opLimit())
+		if !done {
+			d.demote(e)
+			return d.slow.FetchAndAdd(e, w, delta)
+		}
+		d.observe(e, e.Self().Restarts-before)
+		return old
+	}
+	old := d.fast.FetchAndAdd(e, w, delta)
+	d.observe(e, e.Self().Restarts-before)
+	return old
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/uniproc"
+)
+
+// A RAS test-and-set needs 4 cycles (load, ALU, committing store) on the
+// R3000 profile: a 2-cycle quantum livelocks every attempt, so the
+// degrading wrapper must notice and demote to kernel emulation — after
+// which the same workload completes with an exact counter.
+func TestDegradingDemotesUnderLivelock(t *testing.T) {
+	prof := arch.R3000()
+	d := NewDegrading(NewRAS(), NewKernelEmul(prof))
+	d.OpRestartLimit = 8
+	got, proc := counterRun(t, prof, d, 2, 2, 50)
+	if got != 2*50 {
+		t.Errorf("counter %d want %d", got, 2*50)
+	}
+	if !d.Demoted() {
+		t.Error("wrapper did not demote under a livelocking quantum")
+	}
+	if proc.Stats.Demotions != 1 {
+		t.Errorf("Demotions = %d, want 1 (demotion is permanent, counted once)", proc.Stats.Demotions)
+	}
+	if proc.Stats.EmulTraps == 0 {
+		t.Error("no emulation traps after demotion")
+	}
+}
+
+// With a realistic quantum the fast path stays healthy: no demotion, no
+// emulation traps, and the counter is exact.
+func TestDegradingStaysFastWhenHealthy(t *testing.T) {
+	prof := arch.R3000()
+	d := NewDegrading(NewRAS(), NewKernelEmul(prof))
+	got, proc := counterRun(t, prof, d, 50000, 4, 200)
+	if got != 4*200 {
+		t.Errorf("counter %d want %d", got, 4*200)
+	}
+	if d.Demoted() {
+		t.Error("healthy fast path was demoted")
+	}
+	if proc.Stats.EmulTraps != 0 {
+		t.Errorf("EmulTraps = %d on the fast path", proc.Stats.EmulTraps)
+	}
+	if proc.Stats.Demotions != 0 {
+		t.Errorf("Demotions = %d", proc.Stats.Demotions)
+	}
+}
+
+// The windowed restart-rate monitor: with a threshold so strict that any
+// rollback demotes, a short quantum (which provokes occasional restarts
+// without livelocking) must trip it.
+func TestDegradingRateMonitorDemotes(t *testing.T) {
+	prof := arch.R3000()
+	d := NewDegrading(NewRAS(), NewKernelEmul(prof))
+	d.Window = 8
+	d.RateNum, d.RateDen = 1, 1000
+	got, proc := counterRun(t, prof, d, 37, 4, 300)
+	if got != 4*300 {
+		t.Errorf("counter %d want %d", got, 4*300)
+	}
+	if !d.Demoted() {
+		t.Error("rate monitor never demoted despite restarts under a 37-cycle quantum")
+	}
+	if proc.Stats.Demotions != 1 {
+		t.Errorf("Demotions = %d", proc.Stats.Demotions)
+	}
+}
+
+// FetchAndAdd degrades too, and stays numerically exact across the switch.
+func TestDegradingFetchAndAdd(t *testing.T) {
+	prof := arch.R3000()
+	d := NewDegrading(NewRAS(), NewKernelEmul(prof))
+	d.OpRestartLimit = 4
+	proc := uniproc.New(uniproc.Config{Profile: prof, Quantum: 2})
+	var w Word
+	const n, iters = 3, 40
+	for i := 0; i < n; i++ {
+		proc.Go("adder", func(e *uniproc.Env) {
+			for it := 0; it < iters; it++ {
+				d.FetchAndAdd(e, &w, 1)
+			}
+		})
+	}
+	if err := proc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w != n*iters {
+		t.Errorf("sum %d want %d", w, n*iters)
+	}
+	if !d.Demoted() {
+		t.Error("FetchAndAdd did not demote under a livelocking quantum")
+	}
+}
+
+// Try variants abandon without visible writes and report the truth.
+func TestRASTryVariants(t *testing.T) {
+	prof := arch.R3000()
+	proc := uniproc.New(uniproc.Config{Profile: prof, Quantum: 2})
+	r := NewRAS()
+	var w Word
+	var tasOK, faaOK bool
+	proc.Go("main", func(e *uniproc.Env) {
+		_, tasOK = r.TryTestAndSet(e, &w, 3)
+		_, faaOK = r.TryFetchAndAdd(e, &w, 5, 3)
+	})
+	if err := proc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tasOK || faaOK {
+		t.Errorf("try variants succeeded under a livelocking quantum: tas=%v faa=%v", tasOK, faaOK)
+	}
+	if w != 0 {
+		t.Errorf("abandoned attempts left a visible write: %d", w)
+	}
+}
+
+func TestDegradingName(t *testing.T) {
+	d := NewDegrading(NewRAS(), NewKernelEmul(arch.R3000()))
+	want := "degrading(ras-inline->emulation)"
+	if d.Name() != want {
+		t.Errorf("Name() = %q want %q", d.Name(), want)
+	}
+	if !strings.Contains(d.Name(), "->") {
+		t.Error("name does not show the degradation direction")
+	}
+}

@@ -1,6 +1,10 @@
 package uniproc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+)
 
 // Env is a green thread's handle to the virtual uniprocessor: all charged
 // operations — memory access, traps, yields, blocking — go through it. An
@@ -74,10 +78,37 @@ func (e *Env) ChargeALU(n int) { e.charge(n * e.p.profile.ALUCycles) }
 // Table 1 attributes to the out-of-line registered sequence).
 func (e *Env) ChargeCall() { e.charge(2 * e.p.profile.JumpCycles) }
 
+// chaosMemOp consults the fault injector at a Load/Store boundary — the
+// runtime layer's preemption points — and applies forced preemptions and
+// spurious suspensions. Both are involuntary suspensions, so inside a
+// restartable sequence they trigger the normal rollback path.
+func (e *Env) chaosMemOp() {
+	p := e.p
+	if p.faults == nil {
+		return
+	}
+	p.memOps++
+	act := p.faults.At(chaos.PointMemOp, p.memOps)
+	if !act.Preempt && !act.SpuriousSuspend {
+		return
+	}
+	if e.masked > 0 {
+		e.pending = true
+		return
+	}
+	p.Stats.Injected++
+	if act.SpuriousSuspend && !act.Preempt {
+		p.Stats.Spurious++
+	}
+	p.trace(TraceInject, e.t, int(act.Bits()))
+	e.preempt()
+}
+
 // Load reads a shared word, charging one load.
 func (e *Env) Load(w *Word) Word {
 	v := *w
 	e.charge(e.p.profile.LoadCycles)
+	e.chaosMemOp()
 	return v
 }
 
@@ -87,6 +118,7 @@ func (e *Env) Load(w *Word) Word {
 func (e *Env) Store(w *Word, v Word) {
 	*w = v
 	e.charge(e.p.profile.StoreCycles)
+	e.chaosMemOp()
 }
 
 // Restartable runs seq as a restartable atomic sequence: if the thread is
@@ -99,10 +131,63 @@ func (e *Env) Restartable(seq func()) {
 	if e.inRAS {
 		panic("uniproc: nested Restartable sequences")
 	}
+	w := e.p.watchdog
+	var restarts uint64
+	extended := false
 	for {
 		restarted := e.runSeq(seq)
 		if !restarted {
 			return
+		}
+		if w.Policy == chaos.WatchdogOff {
+			continue
+		}
+		// Every restart of this invocation is a no-progress retry: the
+		// sequence has never completed. Crossing the threshold means the
+		// quantum can no longer fit the sequence (§3.1).
+		restarts++
+		if restarts < w.Limit() {
+			continue
+		}
+		p := e.p
+		p.trace(TraceWatchdog, e.t, int(restarts))
+		if w.Policy == chaos.WatchdogExtend && !extended {
+			// Grant one extended slice right now — the thread holds the
+			// baton, so stretching sliceEnd is exactly an extended quantum.
+			extended = true
+			restarts = 0
+			p.Stats.WatchdogExtends++
+			p.sliceEnd = p.clock + p.quantum*w.Factor()
+			continue
+		}
+		p.Stats.WatchdogAborts++
+		if p.runErr == nil {
+			p.runErr = &LivelockError{Thread: e.t.ID, Name: e.t.Name, Restarts: restarts}
+		}
+		panic(abortSignal{})
+	}
+}
+
+// TryRestartable runs seq as a restartable atomic sequence but gives up
+// after maxRestarts rollbacks, returning false (true on completion).
+// Abandoning is safe because a sequence performs its externally visible
+// write via Commit as its last operation: an attempt that never committed
+// has no visible effect. This is the bounded primitive core.Degrading uses
+// to notice a pathological sequence and fall back to kernel emulation; the
+// processor watchdog is deliberately not engaged here — the bound *is* the
+// watchdog, and the caller handles the failure.
+func (e *Env) TryRestartable(maxRestarts uint64, seq func()) bool {
+	if e.inRAS {
+		panic("uniproc: nested Restartable sequences")
+	}
+	var restarts uint64
+	for {
+		if !e.runSeq(seq) {
+			return true
+		}
+		restarts++
+		if restarts >= maxRestarts {
+			return false
 		}
 	}
 }
@@ -139,6 +224,7 @@ func (e *Env) Commit(w *Word, v Word) {
 	*w = v
 	e.inRAS = false // the sequence has committed; no rollback past this point
 	e.charge(e.p.profile.StoreCycles)
+	e.chaosMemOp()
 }
 
 // InRestartable reports whether the thread is inside a restartable
@@ -171,6 +257,13 @@ func (e *Env) Trap(extra int, f func()) {
 // CountEmulTrap records one kernel-emulated atomic operation (the paper's
 // "Emulation Traps" column).
 func (e *Env) CountEmulTrap() { e.p.Stats.EmulTraps++ }
+
+// CountDemotion records that an adaptive mechanism permanently demoted a
+// pathological restartable sequence to kernel emulation (core.Degrading).
+func (e *Env) CountDemotion() {
+	e.p.Stats.Demotions++
+	e.p.trace(TraceDemote, e.t, 0)
+}
 
 // Interlocked runs f as a single memory-interlocked instruction: charged at
 // the profile's interlocked cost, immune to preemption (it is one

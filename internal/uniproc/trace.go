@@ -18,6 +18,9 @@ const (
 	TraceTrap
 	TraceFork
 	TraceExit
+	TraceInject   // a chaos fault was applied (Arg = chaos.Action bits)
+	TraceWatchdog // the restart-livelock watchdog fired (Arg = restart count)
+	TraceDemote   // an adaptive mechanism demoted to emulation
 )
 
 func (t TraceType) String() string {
@@ -40,6 +43,12 @@ func (t TraceType) String() string {
 		return "fork"
 	case TraceExit:
 		return "exit"
+	case TraceInject:
+		return "inject"
+	case TraceWatchdog:
+		return "watchdog"
+	case TraceDemote:
+		return "demote"
 	}
 	return "?"
 }
@@ -59,6 +68,10 @@ func (ev TraceEvent) String() string {
 	switch ev.Type {
 	case TraceUnblock, TraceFork:
 		s += fmt.Sprintf(" -> t%d", ev.Arg)
+	case TraceInject:
+		s += fmt.Sprintf(" action=%#x", ev.Arg)
+	case TraceWatchdog:
+		s += fmt.Sprintf(" restarts=%d", ev.Arg)
 	}
 	return s
 }

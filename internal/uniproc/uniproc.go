@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"repro/internal/arch"
+	"repro/internal/chaos"
 )
 
 // Word is a machine word in simulated shared memory. All access from guest
@@ -42,6 +43,12 @@ type Stats struct {
 	Switches    uint64 // context switches
 	Blocks      uint64 // threads blocking on a wait queue
 	Forks       uint64 // threads created
+
+	Injected        uint64 // chaos actions applied (any kind)
+	Spurious        uint64 // injected spurious suspensions
+	WatchdogExtends uint64 // livelock watchdog quantum extensions granted
+	WatchdogAborts  uint64 // livelock watchdog aborts
+	Demotions       uint64 // mechanisms demoted to emulation (core.Degrading)
 }
 
 // Config parametrizes a Processor.
@@ -54,15 +61,27 @@ type Config struct {
 	JitterSeed uint64
 	// MaxCycles aborts runs exceeding the budget. Default 1<<44.
 	MaxCycles uint64
+	// Faults, when non-nil, is consulted at every Load/Store preemption
+	// point (chaos.PointMemOp) and at every dispatch (chaos.PointDispatch)
+	// for deterministic fault injection. Page-eviction actions are ignored:
+	// this layer has no pages.
+	Faults chaos.Injector
+	// Watchdog configures restart-livelock detection for Restartable
+	// sequences. The zero value (WatchdogOff) preserves the historical
+	// behaviour: an overlong sequence restarts until the cycle budget.
+	Watchdog chaos.Watchdog
 }
 
 // Processor is the virtual uniprocessor. Create with New, add the initial
 // thread(s) with Go, then call Run.
 type Processor struct {
-	profile *arch.Profile
-	quantum uint64
-	jitter  uint64
-	maxCyc  uint64
+	profile  *arch.Profile
+	quantum  uint64
+	jitter   uint64
+	maxCyc   uint64
+	faults   chaos.Injector
+	watchdog chaos.Watchdog
+	memOps   uint64 // ordinal of Load/Store injection points
 
 	clock       uint64
 	sliceEnd    uint64
@@ -114,11 +133,13 @@ func New(cfg Config) *Processor {
 		cfg.MaxCycles = 1 << 44
 	}
 	return &Processor{
-		profile: cfg.Profile,
-		quantum: cfg.Quantum,
-		jitter:  cfg.JitterSeed,
-		maxCyc:  cfg.MaxCycles,
-		schedCh: make(chan struct{}),
+		profile:  cfg.Profile,
+		quantum:  cfg.Quantum,
+		jitter:   cfg.JitterSeed,
+		maxCyc:   cfg.MaxCycles,
+		faults:   cfg.Faults,
+		watchdog: cfg.Watchdog,
+		schedCh:  make(chan struct{}),
 	}
 }
 
@@ -158,7 +179,29 @@ func (p *Processor) Threads() []*Thread { return p.threads }
 var (
 	ErrDeadlock = errors.New("uniproc: deadlock: blocked threads but none ready")
 	ErrBudget   = errors.New("uniproc: cycle budget exceeded")
+	// ErrGuestPanic wraps a panic that escaped guest code; match with
+	// errors.Is. Run never re-panics and never swallows the first panic.
+	ErrGuestPanic = errors.New("uniproc: guest panic")
+	// ErrLivelock wraps a watchdog abort; the concrete error is a
+	// *LivelockError naming the thread and its restart count.
+	ErrLivelock = errors.New("uniproc: restart livelock")
 )
+
+// LivelockError reports a Restartable sequence that restarted Restarts
+// consecutive times without completing: the §3.1 hazard of a sequence
+// longer than the quantum.
+type LivelockError struct {
+	Thread   int
+	Name     string
+	Restarts uint64
+}
+
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf("uniproc: restart livelock: thread %d (%s) restarted its sequence %d times without completing (sequence longer than the quantum, §3.1)",
+		e.Thread, e.Name, e.Restarts)
+}
+
+func (e *LivelockError) Unwrap() error { return ErrLivelock }
 
 // abortSignal unwinds a green thread's stack during shutdown. It never
 // escapes the package.
@@ -173,7 +216,7 @@ func (p *Processor) threadBody(t *Thread) {
 		if r := recover(); r != nil {
 			if _, ok := r.(abortSignal); !ok {
 				if p.runErr == nil {
-					p.runErr = fmt.Errorf("uniproc: %v panicked: %v", t, r)
+					p.runErr = fmt.Errorf("%w: %v panicked: %v", ErrGuestPanic, t, r)
 				}
 			}
 		}
@@ -250,6 +293,16 @@ func (p *Processor) dispatch(t *Thread) {
 		span := q / 2
 		if span > 0 {
 			q = q - q/4 + x%span
+		}
+	}
+	if p.faults != nil {
+		if act := p.faults.At(chaos.PointDispatch, p.Stats.Switches); act.Jitter != 0 {
+			p.Stats.Injected++
+			nq := int64(q) + act.Jitter
+			if nq < 1 {
+				nq = 1
+			}
+			q = uint64(nq)
 		}
 	}
 	p.sliceEnd = p.clock + q

@@ -1,0 +1,98 @@
+package kernel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/isa"
+)
+
+// canonicalSeq is the five-word designated sequence shape the recognizer
+// certifies (lw / ori / bne / landmark / sw), as emitted by guest code.
+func canonicalSeq() []uint32 {
+	return []uint32{
+		uint32(isa.Encode(isa.Lw(isa.RegV0, isa.RegS1, 0))),
+		uint32(isa.Encode(isa.Ori(isa.RegT0, isa.RegZero, 1))),
+		uint32(isa.Encode(isa.Bne(isa.RegV0, isa.RegZero, 3))),
+		uint32(isa.Encode(isa.Landmark())),
+		uint32(isa.Encode(isa.Sw(isa.RegT0, isa.RegS1, 0))),
+	}
+}
+
+// FuzzRecognizer feeds random word soup — and deterministically corrupted
+// (bit-flipped, nop-stripped, replaced) designated sequences — to the
+// two-stage recognizer and checks the §3.2 safety contract from memory
+// alone: the check never panics, never moves the PC on a reject, and only
+// rolls a PC back when the window really certifies as a true sequence
+// (eligible opcode at a consistent slot, landmark at the implied position).
+func FuzzRecognizer(f *testing.F) {
+	canon := canonicalSeq()
+	canonBytes := make([]byte, 4*len(canon))
+	for i, w := range canon {
+		binary.LittleEndian.PutUint32(canonBytes[i*4:], w)
+	}
+	f.Add(canonBytes, uint8(2), uint64(0), uint64(0), false)
+	f.Add(canonBytes, uint8(3), uint64(1), uint64(7), true)
+	f.Add([]byte{0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF}, uint8(0), uint64(9), uint64(3), true)
+	f.Add([]byte(nil), uint8(1), uint64(5), uint64(11), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, idx uint8, mutSeed, mutN uint64, useMutant bool) {
+		k := New(Config{Strategy: &Designated{}})
+		const base = uint32(0x4000)
+
+		var words []uint32
+		if useMutant {
+			// A corrupted designated sequence, flanked by soup from data.
+			mut, _, _ := chaos.MutateWords(mutSeed, mutN, canon)
+			for i := 0; i+4 <= len(data) && i < 16; i += 4 {
+				words = append(words, binary.LittleEndian.Uint32(data[i:]))
+			}
+			words = append(words, mut...)
+			words = append(words, 0, 0)
+		} else {
+			for i := 0; i+4 <= len(data); i += 4 {
+				words = append(words, binary.LittleEndian.Uint32(data[i:]))
+			}
+		}
+		if len(words) == 0 {
+			words = []uint32{0}
+		}
+		for i, w := range words {
+			k.M.Mem.Poke(base+uint32(i*4), w)
+		}
+
+		pc := base + uint32(int(idx)%len(words))*4
+		th := &Thread{}
+		th.Ctx.PC = pc
+		res := k.Strategy.Check(k, th) // must not panic
+
+		if !res.Restarted {
+			if th.Ctx.PC != pc {
+				t.Fatalf("reject moved pc %#x -> %#x", pc, th.Ctx.PC)
+			}
+			return
+		}
+
+		// A restart claims pc was interior to a sequence starting at the new
+		// PC. Re-derive the claim from memory, independently of the check.
+		newPC := th.Ctx.PC
+		back := pc - newPC
+		if back == 0 || back > 16 || back%4 != 0 {
+			t.Fatalf("rollback distance %d bytes from pc=%#x invalid", back, pc)
+		}
+		if lm := k.M.Mem.Peek(newPC + 12); !isa.Decode(isa.Word(lm)).IsLandmark() {
+			t.Fatalf("restart to %#x but no landmark at %#x (word %#x): rolled back outside a true sequence",
+				newPC, newPC+12, lm)
+		}
+		inst := isa.Decode(isa.Word(k.M.Mem.Peek(pc)))
+		entry, ok := designatedTable[key(inst.Op, inst.Funct)]
+		if !ok {
+			t.Fatalf("restarted on ineligible opcode %#x at pc=%#x", inst.Op, pc)
+		}
+		if uint32(entry.startOff)*4 != back {
+			t.Fatalf("opcode at pc=%#x implies rollback %d words, got %d bytes",
+				pc, entry.startOff, back)
+		}
+	})
+}

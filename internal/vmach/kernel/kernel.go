@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/asm"
+	"repro/internal/chaos"
 	"repro/internal/isa"
 	"repro/internal/vmach"
 )
@@ -100,6 +101,15 @@ type Thread struct {
 	// needsCheck marks a thread whose PC check was deferred to resume
 	// time (CheckAtResume policy, or user-level detection).
 	needsCheck bool
+
+	// Restart-livelock watchdog state: seqRestarts counts consecutive
+	// rollbacks to seqPC with no intervening suspension outside the
+	// sequence; extended records that the one-time quantum extension was
+	// spent; boostSlice grants the extension at the next dispatch.
+	seqPC       uint32
+	seqRestarts uint64
+	extended    bool
+	boostSlice  bool
 }
 
 // CheckTime selects when the PC check runs (§4.1 "Placement of the PC
@@ -125,6 +135,12 @@ type Stats struct {
 	HardwareResets uint64 // i860 lock-bit rollbacks
 	SlowAcquires   uint64 // out-of-line mutex acquisitions (§3.2)
 	MutexWakes     uint64 // kernel handoffs to a mutex waiter
+
+	// Chaos and degradation accounting.
+	Spurious        uint64 // injected spurious suspensions
+	Injected        uint64 // chaos actions applied (any kind)
+	WatchdogExtends uint64 // one-time quantum extensions granted
+	WatchdogAborts  uint64 // livelocks aborted with a diagnostic
 }
 
 // Config parametrizes a kernel instance.
@@ -140,7 +156,19 @@ type Config struct {
 	// EvictEvery, when nonzero, evicts the suspended thread's code page on
 	// every Nth involuntary suspension — failure injection for the §4.1
 	// hazard: the kernel's own PC check then page-faults and must recover.
+	// For seeded, combinable fault schedules use Faults instead.
 	EvictEvery uint64
+	// Faults, when non-nil, is consulted at every dispatch, involuntary
+	// suspension, and retired instruction; the requested faults (forced
+	// preemptions, spurious suspensions, page evictions, timeslice jitter)
+	// are applied before the next guest instruction runs.
+	Faults chaos.Injector
+	// Watchdog configures restart-livelock detection: a thread rolled back
+	// to the same sequence start Limit() times in a row, with no
+	// suspension outside the sequence in between, is handled by policy —
+	// one quantum extension (WatchdogExtend) or an aborted run carrying a
+	// *LivelockError diagnostic (WatchdogAbort).
+	Watchdog chaos.Watchdog
 }
 
 // Kernel multiplexes threads onto one vmach.Machine.
@@ -154,6 +182,10 @@ type Kernel struct {
 	pageFaultCycles uint64
 	maxCycles       uint64
 	evictEvery      uint64
+	faults          chaos.Injector
+	watchdog        chaos.Watchdog
+	steps           uint64         // retired-instruction ordinal for PointStep
+	livelock        *LivelockError // set by a watchdog abort; ends the run
 
 	threads []*Thread
 	runq    []*Thread
@@ -209,6 +241,8 @@ func New(cfg Config) *Kernel {
 		pageFaultCycles: cfg.PageFaultServiceCycles,
 		maxCycles:       cfg.MaxCycles,
 		evictEvery:      cfg.EvictEvery,
+		faults:          cfg.Faults,
+		watchdog:        cfg.Watchdog,
 	}
 }
 
@@ -249,10 +283,36 @@ var ErrBudget = errors.New("kernel: cycle budget exceeded")
 // ErrDeadlock is returned when threads remain blocked with nothing runnable.
 var ErrDeadlock = errors.New("kernel: deadlock: blocked threads but none runnable")
 
+// ErrLivelock matches (with errors.Is) every watchdog-abort error.
+var ErrLivelock = errors.New("restart livelock")
+
+// LivelockError is the watchdog-abort diagnostic: the named thread kept
+// restarting one restartable atomic sequence without forward progress —
+// the §3.1 hazard of a sequence that does not fit the scheduling quantum
+// (or whose recovery path keeps refaulting, §4.2).
+type LivelockError struct {
+	Thread   int
+	SeqPC    uint32 // start address of the livelocked sequence
+	Restarts uint64 // consecutive restarts observed when the watchdog fired
+}
+
+// Error implements error.
+func (e *LivelockError) Error() string {
+	return fmt.Sprintf(
+		"kernel: restart livelock: thread %d restarted the sequence at pc=%#x %d times without progress (sequence longer than the quantum, §3.1)",
+		e.Thread, e.SeqPC, e.Restarts)
+}
+
+// Unwrap makes errors.Is(err, ErrLivelock) hold.
+func (e *LivelockError) Unwrap() error { return ErrLivelock }
+
 // Run schedules threads until every thread has exited. It returns an error
 // if any thread faulted or the cycle budget was exceeded.
 func (k *Kernel) Run() error {
 	for {
+		if k.livelock != nil {
+			return k.livelock
+		}
 		if k.cur == nil {
 			if len(k.runq) == 0 {
 				if k.blocked > 0 {
@@ -261,6 +321,7 @@ func (k *Kernel) Run() error {
 				return k.finish()
 			}
 			k.dispatch()
+			continue // re-test livelock: a resume-time check may have aborted
 		}
 		if k.M.Stats.Cycles > k.maxCycles {
 			return ErrBudget
@@ -273,6 +334,11 @@ func (k *Kernel) Run() error {
 			// interrupts (its budget bounds the deferral).
 			if k.M.Stats.Cycles >= k.sliceAt && !k.cur.Ctx.LockActive {
 				k.preempt()
+			} else if k.faults != nil && !k.cur.Ctx.LockActive {
+				k.steps++
+				if act := k.faults.At(chaos.PointStep, k.steps); act.Any() {
+					k.injectStep(act)
+				}
 			}
 
 		case vmach.EventSyscall:
@@ -312,7 +378,61 @@ func (k *Kernel) dispatch() {
 		t.needsCheck = false
 		k.runCheck(t)
 	}
-	k.sliceAt = k.M.Stats.Cycles + k.Quantum
+	quantum := k.Quantum
+	boosted := false
+	if t.boostSlice {
+		// Spend the watchdog's one-time extension: a slice long enough for
+		// a sequence that does not fit the ordinary quantum.
+		t.boostSlice = false
+		boosted = true
+		quantum *= k.watchdog.Factor()
+	}
+	k.sliceAt = k.M.Stats.Cycles + quantum
+	if k.faults != nil {
+		if act := k.faults.At(chaos.PointDispatch, k.Stats.Switches); act.Any() {
+			k.Stats.Injected++
+			k.trace(TraceInject, t, act.Bits())
+			if act.EvictCode {
+				k.M.Mem.SetPresent(t.Ctx.PC, false)
+			}
+			if act.EvictData {
+				k.M.Mem.SetPresent(t.Ctx.Regs[isa.RegSP], false)
+			}
+			// Timeslice jitter; never applied to a watchdog-extended slice
+			// (the extension is a liveness guarantee) and never shrinking a
+			// slice to nothing.
+			if act.Jitter != 0 && !boosted {
+				at := int64(k.sliceAt) + act.Jitter
+				if min := int64(k.M.Stats.Cycles) + 1; at < min {
+					at = min
+				}
+				k.sliceAt = uint64(at)
+			}
+		}
+	}
+}
+
+// injectStep applies a chaos action at a retired-instruction boundary.
+func (k *Kernel) injectStep(act chaos.Action) {
+	t := k.cur
+	k.Stats.Injected++
+	k.trace(TraceInject, t, act.Bits())
+	if act.EvictCode {
+		k.M.Mem.SetPresent(t.Ctx.PC, false)
+	}
+	if act.EvictData {
+		k.M.Mem.SetPresent(t.Ctx.Regs[isa.RegSP], false)
+	}
+	switch {
+	case act.Preempt:
+		k.preempt()
+	case act.SpuriousSuspend:
+		k.Stats.Spurious++
+		k.trace(TracePreempt, t, 1)
+		k.suspend(t)
+		k.runq = append(k.runq, t)
+		k.cur = nil
+	}
 }
 
 // chargeKernel accounts kernel-path cycles on the global clock.
@@ -341,6 +461,18 @@ func (k *Kernel) suspend(t *Thread) {
 	// reading the instruction stream must itself take a page fault.
 	if k.evictEvery > 0 && k.Stats.Suspensions%k.evictEvery == 0 {
 		k.M.Mem.SetPresent(t.Ctx.PC, false)
+	}
+	if k.faults != nil {
+		if act := k.faults.At(chaos.PointSuspend, k.Stats.Suspensions); act.Any() {
+			k.Stats.Injected++
+			k.trace(TraceInject, t, act.Bits())
+			if act.EvictCode {
+				k.M.Mem.SetPresent(t.Ctx.PC, false)
+			}
+			if act.EvictData {
+				k.M.Mem.SetPresent(t.Ctx.Regs[isa.RegSP], false)
+			}
+		}
 	}
 
 	// i860-style hardware restartable sequence: the kernel must back the
@@ -381,11 +513,50 @@ func (k *Kernel) runCheck(t *Thread) {
 			t.Restarts++
 			k.Stats.Restarts++
 			k.trace(TraceRestart, t, uint64(before))
-		} else if k.Strategy.CanReject() {
-			k.Stats.CheckRejects++
+			if k.watchdog.Policy != chaos.WatchdogOff {
+				k.watchdogRestart(t)
+			}
+		} else {
+			if k.Strategy.CanReject() {
+				k.Stats.CheckRejects++
+			}
+			// A suspension that did not restart is forward progress: the
+			// thread was outside any sequence, so the livelock streak ends
+			// and the one-time extension becomes available again.
+			t.seqRestarts = 0
+			t.extended = false
 		}
 		return
 	}
+}
+
+// watchdogRestart applies the restart-livelock policy after a rollback. A
+// thread rolled back to the same sequence start Limit() times in a row,
+// with no intervening suspension outside the sequence, is considered
+// livelocked: under WatchdogExtend it is granted one extended timeslice
+// (escalating to an abort if the livelock persists); under WatchdogAbort
+// the run ends with a diagnostic naming the sequence.
+func (k *Kernel) watchdogRestart(t *Thread) {
+	start := t.Ctx.PC
+	if t.seqPC != start {
+		t.seqPC, t.seqRestarts = start, 0
+		t.extended = false
+	}
+	t.seqRestarts++
+	if t.seqRestarts < k.watchdog.Limit() {
+		return
+	}
+	k.trace(TraceWatchdog, t, t.seqRestarts)
+	if k.watchdog.Policy == chaos.WatchdogExtend && !t.extended {
+		t.extended = true
+		t.boostSlice = true
+		t.seqRestarts = 0
+		k.Stats.WatchdogExtends++
+		return
+	}
+	k.Stats.WatchdogAborts++
+	t.State = StateFaulted
+	k.livelock = &LivelockError{Thread: t.ID, SeqPC: start, Restarts: t.seqRestarts}
 }
 
 func (k *Kernel) servicePage(addr uint32) {

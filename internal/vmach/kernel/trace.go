@@ -16,6 +16,8 @@ const (
 	TracePageFault
 	TraceExit // thread finished (Arg = exit code)
 	TraceFault
+	TraceInject   // a chaos fault was applied (Arg = chaos.Action bits)
+	TraceWatchdog // the restart-livelock watchdog fired (Arg = restart count)
 )
 
 func (t TraceType) String() string {
@@ -34,6 +36,10 @@ func (t TraceType) String() string {
 		return "exit"
 	case TraceFault:
 		return "fault"
+	case TraceInject:
+		return "inject"
+	case TraceWatchdog:
+		return "watchdog"
 	}
 	return "?"
 }
@@ -57,6 +63,10 @@ func (ev TraceEvent) String() string {
 		s += fmt.Sprintf(" num=%d", ev.Arg)
 	case TraceExit:
 		s += fmt.Sprintf(" code=%d", ev.Arg)
+	case TraceInject:
+		s += fmt.Sprintf(" action=%#x", ev.Arg)
+	case TraceWatchdog:
+		s += fmt.Sprintf(" restarts=%d", ev.Arg)
 	}
 	return s
 }
