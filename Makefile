@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos examples fuzz fmt vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery examples fuzz fmt vet clean tier1
 
 all: build vet test
 
@@ -34,6 +34,11 @@ tables:
 chaos:
 	$(GO) run ./cmd/rasbench -table chaos
 
+# Recoverable mutual exclusion: thread-kill sweeps on both substrates,
+# checkpoint replay, crash restore (>= 1000 schedules).
+recovery:
+	$(GO) run ./cmd/rasbench -table recovery
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/mechanisms
@@ -47,6 +52,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/asm/
 	$(GO) test -fuzz=FuzzRecognizer -fuzztime=30s ./internal/vmach/kernel/
+	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/vmach/kernel/
 
 fmt:
 	gofmt -w .

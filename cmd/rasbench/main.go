@@ -12,7 +12,9 @@
 // 4 (eight architectures), i860 (§7 lock bit), lamport (reservation
 // protocols), holdups (§5.3 parthenon-10 analysis), ablation (§4.1 check
 // placement), chaos (seeded fault-injection sweep; failures print a
-// one-line seed reproducer, replayable with -seed/-level).
+// one-line seed reproducer, replayable with -seed/-level), recovery
+// (recoverable mutual exclusion: thread-kill sweeps on both substrates,
+// checkpoint replay, crash restore).
 package main
 
 import (
@@ -25,7 +27,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,all")
+	table := flag.String("table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,all")
 	itersF := flag.Int("iters", 20000, "microbenchmark loop iterations")
 	scale := flag.Int("scale", 1, "table 3 workload multiplier")
 	seed := flag.Uint64("seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
@@ -162,9 +164,22 @@ func run(table string, iters, scale int, seed uint64, level float64, timeout uin
 		}
 		fmt.Print(bench.FormatChaos(rows))
 	}
+	if all || table == "recovery" {
+		section("Recovery sweep: thread kills, orphan repair, checkpoint/restore")
+		cfg := bench.DefaultRecoveryConfig()
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		cfg.MaxCycles = timeout
+		rows, err := bench.TableRecovery(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRecovery(rows))
+	}
 	switch table {
 	case "all", "1", "2", "3", "4", "i860", "lamport", "holdups", "ablation",
-		"wbuf", "ranges", "quantum", "workers", "chaos":
+		"wbuf", "ranges", "quantum", "workers", "chaos", "recovery":
 		return nil
 	}
 	return fmt.Errorf("unknown table %q", table)

@@ -36,6 +36,12 @@ func TestRunChaosSeedReplay(t *testing.T) {
 	}
 }
 
+func TestRunRecovery(t *testing.T) {
+	if err := run("recovery", 500, 1, 0, 0, 0); err != nil {
+		t.Errorf("recovery: %v", err)
+	}
+}
+
 func TestRunUnknownTable(t *testing.T) {
 	if err := run("nonesuch", 100, 1, 0, 0, 0); err == nil {
 		t.Error("unknown table accepted")

@@ -6,11 +6,21 @@
 //
 //	rasvm [-arch r3000] [-strategy registration] [-quantum 10000] prog.s
 //	rasvm -demo counter -strategy designated -workers 4 -iters 1000
+//	rasvm -demo recoverable -kill-at 5000,9000       # orphan + repair
+//	rasvm -demo counter -crash-at 8000 -checkpoint ck.bin
+//	rasvm -restore ck.bin                            # replay the rest
 //
 // The -demo flag runs a built-in workload instead of a source file:
-// "counter" is the shared-counter mutual exclusion workload; its final
-// counter value and kernel statistics are printed, so the effect of each
-// recovery strategy (including "none") is directly observable.
+// "counter" is the shared-counter mutual exclusion workload; "recoverable"
+// is the owner+epoch recoverable mutex, which survives -kill-at thread
+// deaths by repairing the orphaned lock. The final counter value and
+// kernel statistics are printed, so the effect of each recovery strategy
+// (including "none") is directly observable.
+//
+// Fault and recovery flags: -kill-at injects thread kills at the given
+// retired-instruction steps; -crash-at injects a whole-machine crash.
+// -checkpoint writes a binary snapshot — at step -checkpoint-at, or where
+// the crash struck — that -restore resumes and replays deterministically.
 package main
 
 import (
@@ -18,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/asm"
@@ -35,6 +47,11 @@ type options struct {
 	timeout                 uint64 // cycle budget; 0 = kernel default
 	watchdog                string // off, extend, abort
 	maxRestarts             uint64
+	killAt                  string // comma-separated retired-instruction steps
+	crashAt                 uint64 // whole-machine crash step (0 = none)
+	checkpoint              string // snapshot file to write
+	checkpointAt            uint64 // step to checkpoint at (0 = only at crash)
+	restore                 string // snapshot file to resume from
 	args                    []string
 }
 
@@ -53,6 +70,11 @@ func main() {
 	flag.Uint64Var(&o.timeout, "timeout", 0, "cycle budget (0 = default); a livelocked guest exits nonzero with a diagnostic")
 	flag.StringVar(&o.watchdog, "watchdog", "off", "restart-livelock watchdog: off, extend, abort")
 	flag.Uint64Var(&o.maxRestarts, "maxrestarts", 0, "watchdog consecutive-restart threshold (0 = default 32)")
+	flag.StringVar(&o.killAt, "kill-at", "", "kill the running thread at these retired-instruction steps (comma-separated)")
+	flag.Uint64Var(&o.crashAt, "crash-at", 0, "inject a whole-machine crash at this step (0 = none)")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "write a binary machine snapshot to this file (at -checkpoint-at, or where a crash struck)")
+	flag.Uint64Var(&o.checkpointAt, "checkpoint-at", 0, "retired-instruction step to checkpoint at (0 = only at crash)")
+	flag.StringVar(&o.restore, "restore", "", "resume from a snapshot file instead of loading a program")
 	flag.Parse()
 	o.args = flag.Args()
 
@@ -103,44 +125,85 @@ func run(o options) error {
 		return fmt.Errorf("unknown watchdog policy %q", o.watchdog)
 	}
 
-	var src string
-	switch {
-	case o.demo == "counter":
-		m, err := mechByName(o.mech)
-		if err != nil {
-			return err
-		}
-		src = guest.MutexCounterProgram(m, o.workers, o.iters)
-	case o.demo != "":
-		return fmt.Errorf("unknown demo %q", o.demo)
-	case len(o.args) == 1:
-		raw, err := os.ReadFile(o.args[0])
-		if err != nil {
-			return err
-		}
-		src = string(raw)
-	default:
-		return fmt.Errorf("expected one source file or -demo")
-	}
-
-	prog, err := asm.Assemble(src)
+	faults, err := faultSchedule(o)
 	if err != nil {
 		return err
 	}
-	k := kernel.New(kernel.Config{Profile: prof, Strategy: strat, CheckAt: at,
-		Quantum: o.quantum, MaxCycles: o.timeout, Watchdog: wd})
+	cfg := kernel.Config{Profile: prof, Strategy: strat, CheckAt: at,
+		Quantum: o.quantum, MaxCycles: o.timeout, Watchdog: wd, Faults: faults}
+
+	var k *kernel.Kernel
+	var prog *asm.Program
+	if o.restore != "" {
+		raw, err := os.ReadFile(o.restore)
+		if err != nil {
+			return err
+		}
+		snap, err := kernel.DecodeSnapshot(raw)
+		if err != nil {
+			return err
+		}
+		if k, err = kernel.Restore(cfg, snap); err != nil {
+			return err
+		}
+		fmt.Printf("restored:      %s (%d threads at step cursor %d)\n",
+			o.restore, len(k.Threads()), snap.Steps)
+	} else {
+		var src string
+		switch {
+		case o.demo == "counter":
+			m, err := mechByName(o.mech)
+			if err != nil {
+				return err
+			}
+			src = guest.MutexCounterProgram(m, o.workers, o.iters)
+		case o.demo == "recoverable":
+			src = guest.RecoverableCounterProgram(o.workers, o.iters)
+		case o.demo != "":
+			return fmt.Errorf("unknown demo %q", o.demo)
+		case len(o.args) == 1:
+			raw, err := os.ReadFile(o.args[0])
+			if err != nil {
+				return err
+			}
+			src = string(raw)
+		default:
+			return fmt.Errorf("expected one source file, -demo, or -restore")
+		}
+		if prog, err = asm.Assemble(src); err != nil {
+			return err
+		}
+		k = kernel.New(cfg)
+		k.Load(prog)
+		entry, ok := prog.SymbolAddr("main")
+		if !ok {
+			return fmt.Errorf("program has no main symbol")
+		}
+		k.Spawn(entry, guest.StackTop(0))
+	}
 	var tracer *kernel.RingTracer
 	if o.trace > 0 {
 		tracer = kernel.NewRingTracer(o.trace)
 		k.Tracer = tracer
 	}
-	k.Load(prog)
-	entry, ok := prog.SymbolAddr("main")
-	if !ok {
-		return fmt.Errorf("program has no main symbol")
+
+	var runErr error
+	if o.checkpointAt > 0 {
+		var finished bool
+		if finished, runErr = k.RunSteps(o.checkpointAt); !finished {
+			if err := writeCheckpoint(k, o.checkpoint, "at step"); err != nil {
+				return err
+			}
+			runErr = k.Run()
+		}
+	} else {
+		runErr = k.Run()
 	}
-	k.Spawn(entry, guest.StackTop(0))
-	runErr := k.Run()
+	if errors.Is(runErr, kernel.ErrMachineCrash) && o.checkpoint != "" && o.checkpointAt == 0 {
+		if err := writeCheckpoint(k, o.checkpoint, "at crash"); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("profile:       %s\n", prof)
 	fmt.Printf("strategy:      %s (check at %s)\n", strat.Name(), o.checkAt)
@@ -155,7 +218,10 @@ func run(o options) error {
 		fmt.Printf("watchdog:      %d extensions, %d aborts\n",
 			k.Stats.WatchdogExtends, k.Stats.WatchdogAborts)
 	}
-	if o.demo == "counter" {
+	if k.Stats.Kills > 0 {
+		fmt.Printf("kills:         %d\n", k.Stats.Kills)
+	}
+	if prog != nil && o.demo == "counter" {
 		got := k.M.Mem.Peek(prog.MustSymbol("counter"))
 		want := uint32(o.workers * o.iters)
 		status := "CORRECT"
@@ -163,6 +229,13 @@ func run(o options) error {
 			status = "LOST UPDATES"
 		}
 		fmt.Printf("counter:       %d / %d  [%s]\n", got, want, status)
+	}
+	if prog != nil && o.demo == "recoverable" {
+		lock := k.M.Mem.Peek(prog.MustSymbol("lock"))
+		fmt.Printf("counter:       %d (max %d; killed threads stop counting)\n",
+			k.M.Mem.Peek(prog.MustSymbol("counter")), o.workers*o.iters)
+		fmt.Printf("lock word:     %#x (owner %d, epoch %d), repairs %d\n",
+			lock, int32(lock&0xFFFF)-1, lock>>16, k.M.Mem.Peek(prog.MustSymbol("repairs")))
 	}
 	if len(k.Console) > 0 {
 		fmt.Printf("console:       %v\n", k.Console)
@@ -180,6 +253,41 @@ func run(o options) error {
 		}
 	}
 	return runErr
+}
+
+// faultSchedule builds the injector for the -kill-at / -crash-at flags.
+func faultSchedule(o options) (chaos.Injector, error) {
+	var shots []chaos.Injector
+	if o.killAt != "" {
+		for _, f := range strings.Split(o.killAt, ",") {
+			n, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil || n == 0 {
+				return nil, fmt.Errorf("-kill-at: bad step %q", f)
+			}
+			shots = append(shots, chaos.OneShot{Point: chaos.PointStep, N: n, Action: chaos.Action{Kill: true}})
+		}
+	}
+	if o.crashAt > 0 {
+		shots = append(shots, chaos.OneShot{Point: chaos.PointStep, N: o.crashAt, Action: chaos.Action{Crash: true}})
+	}
+	if len(shots) == 0 {
+		return nil, nil
+	}
+	return chaos.Compose(shots...), nil
+}
+
+// writeCheckpoint encodes the kernel's state into the -checkpoint file.
+func writeCheckpoint(k *kernel.Kernel, path, why string) error {
+	if path == "" {
+		return errors.New("-checkpoint-at given without -checkpoint file")
+	}
+	enc := k.Capture().Encode()
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("checkpoint:    %s (%d bytes, %s %d); replay with -restore %s\n",
+		path, len(enc), why, k.M.Stats.Instructions, path)
+	return nil
 }
 
 func mechByName(s string) (guest.Mechanism, error) {

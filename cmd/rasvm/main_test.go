@@ -145,6 +145,93 @@ func TestErrors(t *testing.T) {
 	}
 }
 
+func TestDemoRecoverable(t *testing.T) {
+	o := demo("registration", "registered", 300)
+	o.demo = "recoverable"
+	o.workers, o.iters = 3, 40
+	if err := run(o); err != nil {
+		t.Error(err)
+	}
+}
+
+// -kill-at orphans the lock mid-run; the recoverable demo must still
+// terminate (survivors repair and finish, the kernel reaps the corpse).
+func TestKillAtRepairsOrphan(t *testing.T) {
+	o := demo("registration", "registered", 300)
+	o.demo = "recoverable"
+	o.workers, o.iters = 3, 40
+	o.killAt = "1500"
+	if err := run(o); err != nil {
+		t.Error(err)
+	}
+}
+
+// -crash-at + -checkpoint writes a snapshot where the crash struck, and
+// -restore replays the remainder to a clean exit.
+func TestCrashCheckpointRestore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	o := demo("registration", "registered", 500)
+	o.iters = 200
+	o.crashAt, o.checkpoint = 3000, path
+	if err := run(o); !errors.Is(err, kernel.ErrMachineCrash) {
+		t.Fatalf("err = %v, want machine crash", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	var r options
+	r.arch, r.strategy, r.checkAt = "r3000", "registration", "suspend"
+	r.quantum, r.watchdog, r.restore = 500, "off", path
+	if err := run(r); err != nil {
+		t.Errorf("restore replay: %v", err)
+	}
+}
+
+// -checkpoint-at snapshots a healthy run mid-flight; the original run and
+// the restored run both complete.
+func TestCheckpointAtStep(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	o := demo("registration", "registered", 500)
+	o.iters = 200
+	o.checkpointAt, o.checkpoint = 2000, path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var r options
+	r.arch, r.strategy, r.checkAt = "r3000", "registration", "suspend"
+	r.quantum, r.watchdog, r.restore = 500, "off", path
+	if err := run(r); err != nil {
+		t.Errorf("restore replay: %v", err)
+	}
+}
+
+func TestRecoveryFlagErrors(t *testing.T) {
+	o := demo("registration", "registered", 300)
+	o.killAt = "12,frog"
+	if err := run(o); err == nil {
+		t.Error("malformed -kill-at accepted")
+	}
+	o = demo("registration", "registered", 300)
+	o.checkpointAt = 100 // no -checkpoint file
+	if err := run(o); err == nil {
+		t.Error("-checkpoint-at without -checkpoint accepted")
+	}
+	o = demo("registration", "registered", 300)
+	o.restore = filepath.Join(t.TempDir(), "missing.bin")
+	if err := run(o); err == nil {
+		t.Error("missing -restore file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "garbage.bin")
+	if err := os.WriteFile(bad, []byte("not a checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o = demo("registration", "registered", 300)
+	o.restore = bad
+	if err := run(o); !errors.Is(err, kernel.ErrBadCheckpoint) {
+		t.Errorf("err = %v, want bad checkpoint", err)
+	}
+}
+
 func TestDemoTaosMutex(t *testing.T) {
 	o := demo("designated", "taos-mutex", 97)
 	o.checkAt = "resume"

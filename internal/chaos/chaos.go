@@ -79,11 +79,22 @@ type Action struct {
 	// Jitter is added to the length of the timeslice being started
 	// (possibly negative; substrates clamp so a slice is never empty).
 	Jitter int64
+	// Kill terminates the running thread on the spot: its stack is
+	// unwound, its registrations reaped, and it never runs again — the
+	// fault class the recoverable-mutual-exclusion (RME) line of work
+	// models, which restartable sequences alone cannot survive (a thread
+	// killed inside a critical section orphans the lock forever).
+	Kill bool
+	// Crash halts the whole machine mid-run: the substrate stops
+	// scheduling and reports a machine-crash error, leaving its state
+	// intact for checkpointing. Recovery is by checkpoint/restore.
+	Crash bool
 }
 
 // Any reports whether the action requests any fault at all.
 func (a Action) Any() bool {
-	return a.Preempt || a.SpuriousSuspend || a.EvictCode || a.EvictData || a.Jitter != 0
+	return a.Preempt || a.SpuriousSuspend || a.EvictCode || a.EvictData ||
+		a.Jitter != 0 || a.Kill || a.Crash
 }
 
 // Bits packs the action's flags for compact trace output.
@@ -100,6 +111,12 @@ func (a Action) Bits() uint64 {
 	}
 	if a.EvictData {
 		b |= 8
+	}
+	if a.Kill {
+		b |= 16
+	}
+	if a.Crash {
+		b |= 32
 	}
 	return b
 }
@@ -123,6 +140,11 @@ type Plan struct {
 	EvictCodeRate uint32 // code-page eviction, per involuntary suspension
 	EvictDataRate uint32 // stack-page eviction, per involuntary suspension
 	MaxJitter     int64  // timeslice jitter amplitude (cycles), per dispatch
+	// KillRate is the thread-death probability per retired step / mem op.
+	// NewPlan leaves it zero: kills change a workload's outcome, so they
+	// are opted into with NewKillPlan (or set explicitly) rather than
+	// riding along with the recoverable-fault sweep.
+	KillRate uint32
 }
 
 // NewPlan derives a Plan from a seed and an intensity level in [0,1]:
@@ -148,6 +170,17 @@ func NewPlan(seed uint64, level float64) *Plan {
 	}
 }
 
+// NewKillPlan derives a Plan like NewPlan and additionally arms thread
+// kills: at level 1 the running thread dies about once every 4096 retired
+// steps / memory ops. Kill decisions consume hash bits untouched by the
+// other fault kinds, so a kill plan injects exactly the faults its NewPlan
+// sibling would, plus the deaths.
+func NewKillPlan(seed uint64, level float64) *Plan {
+	p := NewPlan(seed, level)
+	p.KillRate = uint32(p.Level * 16)
+	return p
+}
+
 // At implements Injector.
 func (p *Plan) At(pt Point, n uint64) Action {
 	var a Action
@@ -159,6 +192,9 @@ func (p *Plan) At(pt Point, n uint64) Action {
 		}
 		if uint32(h>>16&0xFFFF) < p.SpuriousRate {
 			a.SpuriousSuspend = true
+		}
+		if uint32(h>>32&0xFFFF) < p.KillRate {
+			a.Kill = true
 		}
 	case PointSuspend:
 		if uint32(h&0xFFFF) < p.EvictCodeRate {
@@ -199,6 +235,58 @@ func Derive(seed uint64, vals ...uint64) uint64 {
 		h = splitmix64(h ^ v)
 	}
 	return h
+}
+
+// OneShot is an Injector requesting a single action at exactly the N-th
+// occurrence of one point (ordinals are 1-based) and nothing anywhere else.
+// It is how the recovery sweeps express a deterministic schedule — "kill
+// whichever thread is running at memory op 1234" — and how rasvm's
+// -kill-at / -crash-at flags are implemented.
+type OneShot struct {
+	Point  Point
+	N      uint64
+	Action Action
+}
+
+// At implements Injector.
+func (o OneShot) At(p Point, n uint64) Action {
+	if p == o.Point && n == o.N {
+		return o.Action
+	}
+	return Action{}
+}
+
+// composed merges several injectors: flags are OR-ed, jitters summed.
+type composed []Injector
+
+// Compose returns an Injector that consults every given injector at each
+// point and merges their requests (boolean faults OR, jitter sums). Nil
+// entries are skipped. Used to overlay deterministic kill/crash schedules
+// on a background Plan.
+func Compose(injs ...Injector) Injector {
+	var c composed
+	for _, in := range injs {
+		if in != nil {
+			c = append(c, in)
+		}
+	}
+	return c
+}
+
+// At implements Injector.
+func (c composed) At(p Point, n uint64) Action {
+	var a Action
+	for _, in := range c {
+		x := in.At(p, n)
+		a.Preempt = a.Preempt || x.Preempt
+		a.SpuriousSuspend = a.SpuriousSuspend || x.SpuriousSuspend
+		a.EvictCode = a.EvictCode || x.EvictCode
+		a.EvictData = a.EvictData || x.EvictData
+		a.Kill = a.Kill || x.Kill
+		a.Crash = a.Crash || x.Crash
+		a.Jitter += x.Jitter
+	}
+	return a
 }
 
 // Watchdog policies ----------------------------------------------------------

@@ -113,6 +113,77 @@ func TestActionBitsAndAny(t *testing.T) {
 	if !(Action{Jitter: -5}).Any() {
 		t.Error("jitter-only action not Any")
 	}
+	k := Action{Kill: true, Crash: true}
+	if !k.Any() || k.Bits() != 16|32 {
+		t.Errorf("kill/crash bits = %#x", k.Bits())
+	}
+}
+
+// A kill plan must inject exactly the faults its NewPlan sibling does,
+// plus kills: arming kills must not reshuffle the recoverable schedule.
+func TestKillPlanExtendsPlanWithoutPerturbingIt(t *testing.T) {
+	base := NewPlan(0xABCD, 0.75)
+	kill := NewKillPlan(0xABCD, 0.75)
+	if kill.KillRate == 0 {
+		t.Fatal("NewKillPlan left KillRate zero")
+	}
+	kills := 0
+	for pt := PointDispatch; pt <= PointMemOp; pt++ {
+		for n := uint64(0); n < 50000; n++ {
+			a, b := base.At(pt, n), kill.At(pt, n)
+			if b.Kill {
+				kills++
+				b.Kill = false
+			}
+			if a != b {
+				t.Fatalf("kill plan diverged from base at %v/%d: %+v vs %+v", pt, n, a, b)
+			}
+		}
+	}
+	if kills == 0 {
+		t.Error("kill plan never killed in 200k opportunities")
+	}
+	if NewPlan(0xABCD, 0.75).KillRate != 0 {
+		t.Error("NewPlan armed kills")
+	}
+}
+
+func TestOneShotFiresExactlyOnce(t *testing.T) {
+	o := OneShot{Point: PointStep, N: 42, Action: Action{Kill: true}}
+	fired := 0
+	for pt := PointDispatch; pt <= PointMemOp; pt++ {
+		for n := uint64(0); n < 100; n++ {
+			a := o.At(pt, n)
+			if a.Any() {
+				fired++
+				if pt != PointStep || n != 42 || !a.Kill {
+					t.Fatalf("one-shot fired %+v at %v/%d", a, pt, n)
+				}
+			}
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("one-shot fired %d times", fired)
+	}
+}
+
+func TestComposeMergesActions(t *testing.T) {
+	c := Compose(
+		nil,
+		OneShot{Point: PointMemOp, N: 7, Action: Action{Kill: true}},
+		OneShot{Point: PointMemOp, N: 7, Action: Action{Preempt: true, Jitter: 3}},
+		OneShot{Point: PointMemOp, N: 9, Action: Action{Crash: true, Jitter: -1}},
+	)
+	a := c.At(PointMemOp, 7)
+	if !a.Kill || !a.Preempt || a.Jitter != 3 || a.Crash {
+		t.Errorf("merge at 7: %+v", a)
+	}
+	if a = c.At(PointMemOp, 9); !a.Crash || a.Jitter != -1 {
+		t.Errorf("merge at 9: %+v", a)
+	}
+	if a = c.At(PointMemOp, 8); a.Any() {
+		t.Errorf("phantom action %+v", a)
+	}
 }
 
 func TestMutateWordsDeterministicAndSingleWord(t *testing.T) {

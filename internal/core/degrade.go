@@ -51,10 +51,13 @@ func (r *RAS) TryFetchAndAdd(e *uniproc.Env, w *Word, delta Word, maxRestarts ui
 // emulation) when the sequence proves pathological — either a single
 // operation exceeding OpRestartLimit rollbacks (the §3.1 livelock, on a
 // Bounded fast path), or a sustained restart rate above RateNum/RateDen
-// over a Window of operations. Demotion is one-way: a sequence that cannot
-// fit the quantum today will not fit it tomorrow, and emulation is always
-// correct, just slower. Demotions are recorded in the processor's stats
-// and trace via Env.CountDemotion.
+// over a Window of operations. Demotion is one-way by default: a sequence
+// that cannot fit the quantum today will not fit it tomorrow, and
+// emulation is always correct, just slower. Systems that *recover* — the
+// hostile quantum was transient — can arm RepromoteAfter to return to the
+// fast path after a quiet spell. Demotions are recorded in the
+// processor's stats and trace via Env.CountDemotion, re-promotions via
+// Env.CountPromotion.
 //
 // Degrading is built for the virtual uniprocessor's single-baton
 // discipline: its counters need no synchronization because at most one
@@ -72,10 +75,19 @@ type Degrading struct {
 	// RateNum/RateDen is the demotion threshold for restarts per attempt
 	// over a window; both 0 means 1/2.
 	RateNum, RateDen uint64
+	// RepromoteAfter, when nonzero, arms re-promotion hysteresis: after
+	// that many slow-path operations the mechanism optimistically returns
+	// to the fast path. Each further demotion doubles the effective wait
+	// (exponential backoff), so a genuinely pathological sequence still
+	// settles on emulation while a transient storm is forgiven. 0 (the
+	// default) keeps demotion permanent.
+	RepromoteAfter uint64
 
-	attempts uint64 // fast-path operations this window
-	restarts uint64 // rollbacks observed this window
-	demoted  bool
+	attempts  uint64 // fast-path operations this window
+	restarts  uint64 // rollbacks observed this window
+	slowOps   uint64 // slow-path operations since the last demotion
+	waitScale uint64 // hysteresis multiplier; doubles on each demotion
+	demoted   bool
 }
 
 // NewDegrading wraps fast with adaptive demotion to slow.
@@ -119,7 +131,30 @@ func (d *Degrading) demote(e *uniproc.Env) {
 		return
 	}
 	d.demoted = true
+	d.slowOps = 0
+	if d.waitScale == 0 {
+		d.waitScale = 1
+	} else if d.waitScale < 1<<32 {
+		d.waitScale *= 2
+	}
 	e.CountDemotion()
+}
+
+// maybeRepromote accounts one slow-path operation and, when RepromoteAfter
+// is armed and the hysteresis wait has elapsed, returns the mechanism to
+// the fast path with fresh rate-monitoring windows.
+func (d *Degrading) maybeRepromote(e *uniproc.Env) {
+	if d.RepromoteAfter == 0 {
+		return
+	}
+	d.slowOps++
+	if d.slowOps < d.RepromoteAfter*d.waitScale {
+		return
+	}
+	d.demoted = false
+	d.slowOps = 0
+	d.attempts, d.restarts = 0, 0
+	e.CountPromotion()
 }
 
 // observe accounts one fast-path operation and its rollbacks, demoting if
@@ -141,7 +176,9 @@ func (d *Degrading) observe(e *uniproc.Env, restarts uint64) {
 // TestAndSet implements Mechanism.
 func (d *Degrading) TestAndSet(e *uniproc.Env, w *Word) Word {
 	if d.demoted {
-		return d.slow.TestAndSet(e, w)
+		old := d.slow.TestAndSet(e, w)
+		d.maybeRepromote(e)
+		return old
 	}
 	before := e.Self().Restarts
 	if b, ok := d.fast.(Bounded); ok {
@@ -170,7 +207,9 @@ func (d *Degrading) Clear(e *uniproc.Env, w *Word) {
 // FetchAndAdd implements Mechanism.
 func (d *Degrading) FetchAndAdd(e *uniproc.Env, w *Word, delta Word) Word {
 	if d.demoted {
-		return d.slow.FetchAndAdd(e, w, delta)
+		old := d.slow.FetchAndAdd(e, w, delta)
+		d.maybeRepromote(e)
+		return old
 	}
 	before := e.Self().Restarts
 	if b, ok := d.fast.(Bounded); ok {

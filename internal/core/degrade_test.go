@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/chaos"
 	"repro/internal/uniproc"
 )
 
@@ -127,5 +128,103 @@ func TestDegradingName(t *testing.T) {
 	}
 	if !strings.Contains(d.Name(), "->") {
 		t.Error("name does not show the degradation direction")
+	}
+}
+
+// gateInjector preempts at every memop while hostile — enough to livelock
+// any restartable sequence — and is harmless otherwise. The test flips the
+// gate between phases; single-baton scheduling makes that safe.
+type gateInjector struct{ hostile bool }
+
+func (g *gateInjector) At(pt chaos.Point, _ uint64) chaos.Action {
+	if g.hostile && pt == chaos.PointMemOp {
+		return chaos.Action{Preempt: true}
+	}
+	return chaos.Action{}
+}
+
+// With RepromoteAfter armed, a demoted mechanism returns to the fast path
+// after a quiet spell, and each re-demotion doubles the wait.
+func TestDegradingRepromotesWithHysteresis(t *testing.T) {
+	gate := &gateInjector{hostile: true}
+	proc := uniproc.New(uniproc.Config{Faults: gate})
+	d := NewDegrading(NewRAS(), NewKernelEmul(arch.R3000()))
+	d.OpRestartLimit = 4
+	d.RepromoteAfter = 4
+	var w Word
+	slowTAS := func(e *uniproc.Env, n int) {
+		for i := 0; i < n; i++ {
+			d.TestAndSet(e, &w)
+			w = 0 // reset directly: Clear would add memops to reason about
+		}
+	}
+	proc.Go("main", func(e *uniproc.Env) {
+		// Phase 1: hostile quantum forces the first op past its restart
+		// bound and demotes.
+		d.TestAndSet(e, &w)
+		if !d.Demoted() {
+			t.Error("phase 1: not demoted under hostile injection")
+		}
+		gate.hostile = false
+		w = 0
+		// Phase 2: RepromoteAfter quiet slow ops re-promote.
+		slowTAS(e, 3)
+		if !d.Demoted() {
+			t.Error("phase 2: promoted early")
+		}
+		slowTAS(e, 1)
+		if d.Demoted() {
+			t.Error("phase 2: did not re-promote after the quiet spell")
+		}
+		// Phase 3: the fast path works again.
+		if d.TestAndSet(e, &w) != 0 || w != 1 {
+			t.Error("phase 3: fast path wrong after re-promotion")
+		}
+		w = 0
+		// Phase 4: a second storm demotes again; the wait is now doubled.
+		gate.hostile = true
+		d.TestAndSet(e, &w)
+		if !d.Demoted() {
+			t.Error("phase 4: not re-demoted")
+		}
+		gate.hostile = false
+		w = 0
+		slowTAS(e, 4)
+		if d.Demoted() == false {
+			t.Error("phase 4: promoted after a single wait despite backoff doubling")
+		}
+		slowTAS(e, 4)
+		if d.Demoted() {
+			t.Error("phase 4: did not promote after the doubled wait")
+		}
+	})
+	if err := proc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if proc.Stats.Demotions != 2 || proc.Stats.Promotions != 2 {
+		t.Errorf("demotions=%d promotions=%d, want 2/2", proc.Stats.Demotions, proc.Stats.Promotions)
+	}
+}
+
+// The knob is off by default: demotion stays permanent.
+func TestDegradingPermanentByDefault(t *testing.T) {
+	gate := &gateInjector{hostile: true}
+	proc := uniproc.New(uniproc.Config{Faults: gate})
+	d := NewDegrading(NewRAS(), NewKernelEmul(arch.R3000()))
+	d.OpRestartLimit = 4
+	var w Word
+	proc.Go("main", func(e *uniproc.Env) {
+		d.TestAndSet(e, &w)
+		gate.hostile = false
+		for i := 0; i < 100; i++ {
+			w = 0
+			d.TestAndSet(e, &w)
+		}
+	})
+	if err := proc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Demoted() || proc.Stats.Promotions != 0 {
+		t.Errorf("default Degrading re-promoted: demoted=%v promotions=%d", d.Demoted(), proc.Stats.Promotions)
 	}
 }

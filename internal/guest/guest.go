@@ -461,6 +461,124 @@ wgot:
 	return b.String()
 }
 
+// RecoverableCounterProgram builds the recoverable-mutual-exclusion
+// workload: `workers` threads each perform `iters` iterations of
+// { acquire; counter++; release } on a lock word that names its owner —
+// layout epoch<<16 | (tid+1), 0 meaning free. Acquire CASes the owner
+// field in via a restartable sequence; a held lock is polled with
+// SysThreadAlive, and a lock naming a dead thread is orphaned and stolen
+// with the epoch bumped (counted at symbol "repairs"). Release clears the
+// owner field, preserving the epoch. Under thread-kill injection the final
+// counter is not workers*iters — dead threads stop incrementing — but
+// every increment must still happen under mutual exclusion, which the
+// harness checks with watchpoints.
+//
+// The CAS sequence is written in the canonical designated shape
+// (lw/ori/bne/landmark/sw) *and* registered via SysRasRegister, so the
+// same program is recoverable under both the Registration and Designated
+// strategies (the registration syscall fails harmlessly on the latter).
+func RecoverableCounterProgram(workers, iters int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `	.text
+main:
+	li   v0, 3              # SysRasRegister (fails harmlessly if unsupported)
+	la   a0, cas_seq
+	li   a1, 20             # lw + ori + bne + landmark + sw
+	syscall
+	li   s0, %d             # number of workers
+	li   s1, 1              # next thread id
+spawnloop:
+	slt  t0, s0, s1
+	bne  t0, zero, spawned
+	la   a0, worker
+	move a1, s1             # the worker's kernel thread id, as its argument
+	sll  a2, s1, 12
+	li   t0, %#x
+	add  a2, a2, t0         # stack top for this worker
+	li   v0, 5              # SysThreadCreate
+	syscall
+	addi s1, s1, 1
+	b    spawnloop
+spawned:
+	li   v0, 0              # SysExit
+	move a0, zero
+	syscall
+
+worker:                         # a0 = own kernel thread id
+	addi s6, a0, 1          # owner field: tid+1, so free (0) is unambiguous
+	la   s1, lock
+	la   s2, counter
+	li   s0, %d             # iterations
+wloop:
+acq:
+	lw   s3, 0(s1)          # current lock word
+	andi t1, s3, 0xFFFF     # owner field
+	beq  t1, zero, acq_free
+	addi a0, t1, -1         # held: ask the kernel if the owner can still run
+	li   v0, 10             # SysThreadAlive
+	syscall
+	bne  v0, zero, acq_wait
+	srl  t2, s3, 16         # orphaned: steal with the epoch bumped
+	addi t2, t2, 1
+	sll  t2, t2, 16
+	or   t2, t2, s6
+	move a0, s3             # CAS(lock: expect s3 -> t2)
+	move a1, t2
+	jal  cas
+	beq  v0, zero, acq      # lost the race to another repairer: re-read
+	la   t3, repairs
+	lw   t4, 0(t3)
+	addi t4, t4, 1
+	sw   t4, 0(t3)
+	b    cs
+acq_free:
+	srl  t2, s3, 16
+	sll  t2, t2, 16
+	or   t2, t2, s6         # free: take it, epoch unchanged
+	move a0, s3
+	move a1, t2
+	jal  cas
+	beq  v0, zero, acq
+	b    cs
+acq_wait:
+	li   v0, 1              # SysYield while the live owner works
+	syscall
+	b    acq
+cs:
+	lw   t1, 0(s2)          # critical section: counter++
+	addi t1, t1, 1
+	sw   t1, 0(s2)
+	lw   t1, 0(s1)          # release: clear owner, preserve epoch. Only the
+	srl  t1, t1, 16         # owner writes a held word, so the non-atomic
+	sll  t1, t1, 16         # read-modify-write is safe; dying inside it
+	sw   t1, 0(s1)          # leaves an orphan for the next steal.
+	addi s0, s0, -1
+	bne  s0, zero, wloop
+	li   v0, 0              # SysExit
+	move a0, zero
+	syscall
+
+cas:                            # CAS word at s1: a0 = expect, a1 = new;
+cas_seq:                        # v0 = 1 if swapped. Restartable: canonical
+	lw   v0, 0(s1)          # designated shape, and registered by main.
+	ori  t9, zero, 1
+	bne  v0, a0, cas_fail
+	landmark
+	sw   a1, 0(s1)          # commit
+	move v0, t9
+	jr   ra
+cas_fail:
+	li   v0, 0
+	jr   ra
+
+	.data
+lock:    .word 0
+counter: .word 0
+repairs: .word 0
+`, workers, StackBase+0xFF0, iters)
+	return b.String()
+}
+
 // MicrobenchProgram builds the paper's Table 1 microbenchmark: one thread
 // enters a critical section with a Test-And-Set lock, increments a counter,
 // and leaves by clearing the lock, `iters` times. The Test-And-Set always

@@ -79,29 +79,59 @@ func (e *Env) ChargeALU(n int) { e.charge(n * e.p.profile.ALUCycles) }
 func (e *Env) ChargeCall() { e.charge(2 * e.p.profile.JumpCycles) }
 
 // chaosMemOp consults the fault injector at a Load/Store boundary — the
-// runtime layer's preemption points — and applies forced preemptions and
-// spurious suspensions. Both are involuntary suspensions, so inside a
-// restartable sequence they trigger the normal rollback path.
+// runtime layer's preemption points — and applies forced preemptions,
+// spurious suspensions, thread kills, and machine crashes. Suspensions
+// inside a restartable sequence trigger the normal rollback path; kills
+// and crashes unwind the thread (or the whole run) where it stands. All
+// faults are suppressed while interrupts are masked: a trap handler can
+// neither be preempted nor die halfway through kernel state.
 func (e *Env) chaosMemOp() {
 	p := e.p
+	p.memOps++ // counted even without an injector: a fault-free reference
+	// run reports the same ordinal stream a kill schedule will see.
 	if p.faults == nil {
 		return
 	}
-	p.memOps++
 	act := p.faults.At(chaos.PointMemOp, p.memOps)
-	if !act.Preempt && !act.SpuriousSuspend {
+	if !act.Preempt && !act.SpuriousSuspend && !act.Kill && !act.Crash {
 		return
 	}
 	if e.masked > 0 {
-		e.pending = true
+		if act.Preempt || act.SpuriousSuspend {
+			e.pending = true
+		}
 		return
 	}
 	p.Stats.Injected++
+	p.trace(TraceInject, e.t, int(act.Bits()))
+	if act.Crash {
+		p.trace(TraceCrash, e.t, 0)
+		if p.runErr == nil {
+			p.runErr = fmt.Errorf("%w: at memop %d in %v", ErrMachineCrash, p.memOps, e.t)
+		}
+		panic(abortSignal{})
+	}
+	if act.Kill {
+		e.killSelf()
+	}
 	if act.SpuriousSuspend && !act.Preempt {
 		p.Stats.Spurious++
 	}
-	p.trace(TraceInject, e.t, int(act.Bits()))
 	e.preempt()
+}
+
+// killSelf terminates the calling thread in place: the death of a kernel
+// thread, injected at a memory-operation boundary. The killing store (if
+// any) has already taken effect — death strikes *between* instructions,
+// never mid-store. The stack unwinds via killSignal; threadBody reaps the
+// thread and runs the death callbacks.
+func (e *Env) killSelf() {
+	p, t := e.p, e.t
+	t.killed = true
+	p.Stats.Kills++
+	p.trace(TraceKill, t, 0)
+	p.clock += uint64(p.profile.SuspendCycles)
+	panic(killSignal{})
 }
 
 // Load reads a shared word, charging one load.
@@ -263,6 +293,33 @@ func (e *Env) CountEmulTrap() { e.p.Stats.EmulTraps++ }
 func (e *Env) CountDemotion() {
 	e.p.Stats.Demotions++
 	e.p.trace(TraceDemote, e.t, 0)
+}
+
+// CountPromotion records that a demoted mechanism re-promoted itself to the
+// RAS fast path after a quiet spell (core.Degrading with RepromoteAfter).
+func (e *Env) CountPromotion() {
+	e.p.Stats.Promotions++
+	e.p.trace(TracePromote, e.t, 0)
+}
+
+// CountRepair records that an acquirer found its lock orphaned by a dead
+// owner and repaired it (core.RecoverableMutex). dead is the dead owner's
+// thread ID.
+func (e *Env) CountRepair(dead int) {
+	e.p.Stats.Repairs++
+	e.p.trace(TraceRepair, e.t, dead)
+}
+
+// ThreadDead reports whether thread id will never run again. This is the
+// uniproc analogue of the vmach kernel's thread-alive syscall: the oracle a
+// recoverable mutex consults before repairing an orphaned lock. Unknown IDs
+// are reported dead — a lock word naming no live thread is orphaned.
+func (e *Env) ThreadDead(id int) bool {
+	if id < 0 || id >= len(e.p.threads) {
+		return true
+	}
+	t := e.p.threads[id]
+	return t.done || t.killed
 }
 
 // Interlocked runs f as a single memory-interlocked instruction: charged at

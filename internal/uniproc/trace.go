@@ -21,6 +21,10 @@ const (
 	TraceInject   // a chaos fault was applied (Arg = chaos.Action bits)
 	TraceWatchdog // the restart-livelock watchdog fired (Arg = restart count)
 	TraceDemote   // an adaptive mechanism demoted to emulation
+	TracePromote  // a demoted mechanism re-promoted to the fast path
+	TraceKill     // a thread was killed by fault injection
+	TraceCrash    // an injected machine crash aborted the run
+	TraceRepair   // an orphaned lock was repaired (Arg = dead owner's ID)
 )
 
 func (t TraceType) String() string {
@@ -49,6 +53,14 @@ func (t TraceType) String() string {
 		return "watchdog"
 	case TraceDemote:
 		return "demote"
+	case TracePromote:
+		return "promote"
+	case TraceKill:
+		return "kill"
+	case TraceCrash:
+		return "crash"
+	case TraceRepair:
+		return "repair"
 	}
 	return "?"
 }
@@ -72,6 +84,8 @@ func (ev TraceEvent) String() string {
 		s += fmt.Sprintf(" action=%#x", ev.Arg)
 	case TraceWatchdog:
 		s += fmt.Sprintf(" restarts=%d", ev.Arg)
+	case TraceRepair:
+		s += fmt.Sprintf(" dead=t%d", ev.Arg)
 	}
 	return s
 }

@@ -49,6 +49,9 @@ type Stats struct {
 	WatchdogExtends uint64 // livelock watchdog quantum extensions granted
 	WatchdogAborts  uint64 // livelock watchdog aborts
 	Demotions       uint64 // mechanisms demoted to emulation (core.Degrading)
+	Promotions      uint64 // demoted mechanisms re-promoted to the fast path
+	Kills           uint64 // threads killed by fault injection
+	Repairs         uint64 // orphaned locks repaired (core.RecoverableMutex)
 }
 
 // Config parametrizes a Processor.
@@ -93,6 +96,7 @@ type Processor struct {
 	aborting    bool
 	runErr      error
 	schedCh     chan struct{}
+	deathFns    []func(*Thread)
 	Stats       Stats
 	lockHoldups uint64 // see CountHoldup
 
@@ -114,12 +118,22 @@ type Thread struct {
 	resumeCh    chan struct{}
 	env         *Env
 	done        bool
+	killed      bool
 	blocked     bool
 	wakePending bool
 }
 
 // String implements fmt.Stringer.
 func (t *Thread) String() string { return fmt.Sprintf("thread %d (%s)", t.ID, t.Name) }
+
+// Done reports whether the thread will never run again — it returned,
+// panicked, or was killed by fault injection. A done thread holding a lock
+// has orphaned it; recoverable protocols use this to decide a repair.
+func (t *Thread) Done() bool { return t.done }
+
+// Killed reports whether the thread was terminated by an injected
+// thread-death fault rather than finishing on its own.
+func (t *Thread) Killed() bool { return t.killed }
 
 // New creates a processor.
 func New(cfg Config) *Processor {
@@ -185,6 +199,10 @@ var (
 	// ErrLivelock wraps a watchdog abort; the concrete error is a
 	// *LivelockError naming the thread and its restart count.
 	ErrLivelock = errors.New("uniproc: restart livelock")
+	// ErrMachineCrash reports an injected whole-machine crash
+	// (chaos.Action.Crash): the run stops where it stood, as if power were
+	// cut. Unlike a thread kill, no thread survives a crash.
+	ErrMachineCrash = errors.New("uniproc: injected machine crash")
 )
 
 // LivelockError reports a Restartable sequence that restarted Restarts
@@ -211,10 +229,18 @@ type abortSignal struct{}
 // escapes Env.Restartable.
 type restartSignal struct{}
 
+// killSignal unwinds a thread killed by an injected thread-death fault.
+// Unlike abortSignal the processor keeps running: only this thread dies.
+// It never escapes the package.
+type killSignal struct{}
+
 func (p *Processor) threadBody(t *Thread) {
 	defer func() {
 		if r := recover(); r != nil {
-			if _, ok := r.(abortSignal); !ok {
+			switch r.(type) {
+			case abortSignal, killSignal:
+				// Orderly unwinding; not a guest bug.
+			default:
 				if p.runErr == nil {
 					p.runErr = fmt.Errorf("%w: %v panicked: %v", ErrGuestPanic, t, r)
 				}
@@ -223,6 +249,7 @@ func (p *Processor) threadBody(t *Thread) {
 		t.done = true
 		p.live--
 		p.trace(TraceExit, t, 0)
+		p.notifyDeath(t)
 		p.schedCh <- struct{}{}
 	}()
 	<-t.resumeCh
@@ -317,6 +344,26 @@ func (p *Processor) park(t *Thread) {
 		panic(abortSignal{})
 	}
 }
+
+// OnThreadDeath registers fn to run whenever a thread dies — whether it
+// returned normally, was killed by fault injection, or was unwound during
+// an abnormal shutdown. Callbacks run on the dying thread's goroutine while
+// it still holds the baton, so they may inspect shared memory but must not
+// yield, block, or touch Env.
+func (p *Processor) OnThreadDeath(fn func(*Thread)) {
+	p.deathFns = append(p.deathFns, fn)
+}
+
+func (p *Processor) notifyDeath(t *Thread) {
+	for _, fn := range p.deathFns {
+		fn(t)
+	}
+}
+
+// MemOps returns the number of Load/Store injection points passed so far —
+// the ordinal stream consulted at chaos.PointMemOp. A reference run's final
+// MemOps bounds the meaningful N for a chaos.OneShot kill schedule.
+func (p *Processor) MemOps() uint64 { return p.memOps }
 
 // CountHoldup records that a thread found a lock held by a suspended
 // holder; used to reproduce the paper's §5.3 "inflated critical section"

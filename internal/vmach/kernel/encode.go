@@ -1,0 +1,392 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vmach"
+)
+
+// The checkpoint wire format is hand-rolled little-endian binary with a
+// magic/version header. It is canonical: every snapshot has exactly one
+// encoding (slices carry explicit lengths, booleans must be 0 or 1,
+// trailing bytes are rejected), so decode followed by re-encode is
+// bit-identical — the property FuzzCheckpoint checks.
+
+const (
+	checkpointMagic   = "RASCKPT\x00"
+	checkpointVersion = 1
+)
+
+// maxSliceLen bounds every decoded length prefix. Real snapshots are far
+// smaller; the bound keeps a corrupt (or fuzzed) length from allocating
+// gigabytes before the truncation is noticed.
+const maxSliceLen = 1 << 24
+
+// ErrBadCheckpoint matches (with errors.Is) every checkpoint decode error.
+var ErrBadCheckpoint = errors.New("kernel: malformed checkpoint")
+
+type encoder struct{ b []byte }
+
+func (e *encoder) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encoder) u32(v uint32) { e.b = append(e.b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24)) }
+func (e *encoder) u64(v uint64) { e.u32(uint32(v)); e.u32(uint32(v >> 32)) }
+func (e *encoder) i32(v int32)  { e.u32(uint32(v)) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) boolean(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrBadCheckpoint, fmt.Sprintf(format, args...), d.off)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || len(d.b)-d.off < n {
+		d.fail("truncated (want %d more bytes, have %d)", n, len(d.b)-d.off)
+		return nil
+	}
+	s := d.b[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *decoder) u8() uint8 {
+	s := d.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (d *decoder) u32() uint32 {
+	s := d.take(4)
+	if s == nil {
+		return 0
+	}
+	return uint32(s[0]) | uint32(s[1])<<8 | uint32(s[2])<<16 | uint32(s[3])<<24
+}
+
+func (d *decoder) u64() uint64 {
+	lo := d.u32()
+	return uint64(lo) | uint64(d.u32())<<32
+}
+
+func (d *decoder) i32() int32 { return int32(d.u32()) }
+func (d *decoder) i64() int64 { return int64(d.u64()) }
+
+func (d *decoder) boolean() bool {
+	switch d.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("non-canonical boolean")
+		return false
+	}
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	if n > maxSliceLen {
+		d.fail("string length %d too large", n)
+		return ""
+	}
+	return string(d.take(int(n)))
+}
+
+// sliceLen reads a length prefix for a slice whose elements each occupy at
+// least elemSize encoded bytes, rejecting lengths the remaining input
+// cannot possibly satisfy.
+func (d *decoder) sliceLen(elemSize int) int {
+	n := d.u32()
+	if n > maxSliceLen || (d.err == nil && int(n)*elemSize > len(d.b)-d.off) {
+		d.fail("slice length %d exceeds input", n)
+		return 0
+	}
+	return int(n)
+}
+
+func encodeContext(e *encoder, c *vmach.Context) {
+	for i := 0; i < isa.NumRegs; i++ {
+		e.u32(uint32(c.Regs[i]))
+	}
+	e.u32(c.PC)
+	e.boolean(c.LockActive)
+	e.u32(c.LockPC)
+	e.i64(int64(c.LockBudget))
+}
+
+func decodeContext(d *decoder, c *vmach.Context) {
+	for i := 0; i < isa.NumRegs; i++ {
+		c.Regs[i] = isa.Word(d.u32())
+	}
+	c.PC = d.u32()
+	c.LockActive = d.boolean()
+	c.LockPC = d.u32()
+	c.LockBudget = int(d.i64())
+}
+
+// Kernel and machine Stats are encoded field by field in declaration
+// order; adding a field without touching these functions is caught by
+// TestCheckpointCoversAllStats.
+func encodeKernelStats(e *encoder, s *Stats) {
+	e.u64(s.Suspensions)
+	e.u64(s.Preemptions)
+	e.u64(s.PageFaults)
+	e.u64(s.Restarts)
+	e.u64(s.EmulTraps)
+	e.u64(s.Syscalls)
+	e.u64(s.Switches)
+	e.u64(s.CheckRejects)
+	e.u64(s.HardwareResets)
+	e.u64(s.SlowAcquires)
+	e.u64(s.MutexWakes)
+	e.u64(s.Spurious)
+	e.u64(s.Injected)
+	e.u64(s.WatchdogExtends)
+	e.u64(s.WatchdogAborts)
+	e.u64(s.Kills)
+}
+
+func decodeKernelStats(d *decoder, s *Stats) {
+	s.Suspensions = d.u64()
+	s.Preemptions = d.u64()
+	s.PageFaults = d.u64()
+	s.Restarts = d.u64()
+	s.EmulTraps = d.u64()
+	s.Syscalls = d.u64()
+	s.Switches = d.u64()
+	s.CheckRejects = d.u64()
+	s.HardwareResets = d.u64()
+	s.SlowAcquires = d.u64()
+	s.MutexWakes = d.u64()
+	s.Spurious = d.u64()
+	s.Injected = d.u64()
+	s.WatchdogExtends = d.u64()
+	s.WatchdogAborts = d.u64()
+	s.Kills = d.u64()
+}
+
+func encodeMachineStats(e *encoder, s *vmach.Stats) {
+	e.u64(s.Instructions)
+	e.u64(s.Cycles)
+	e.u64(s.Loads)
+	e.u64(s.Stores)
+	e.u64(s.Interlocked)
+	e.u64(s.LockBStarts)
+	e.u64(s.LockBExpired)
+	e.u64(s.WriteStalls)
+	e.u64(s.WriteStallCycles)
+}
+
+func decodeMachineStats(d *decoder, s *vmach.Stats) {
+	s.Instructions = d.u64()
+	s.Cycles = d.u64()
+	s.Loads = d.u64()
+	s.Stores = d.u64()
+	s.Interlocked = d.u64()
+	s.LockBStarts = d.u64()
+	s.LockBExpired = d.u64()
+	s.WriteStalls = d.u64()
+	s.WriteStallCycles = d.u64()
+}
+
+func encodeMachineImage(e *encoder, m *vmach.MachineImage) {
+	e.str(m.ProfileName)
+	encodeMachineStats(e, &m.Stats)
+	e.u32(uint32(len(m.WB)))
+	for _, w := range m.WB {
+		e.u64(w)
+	}
+	e.u32(uint32(len(m.Mem.Pages)))
+	for i := range m.Mem.Pages {
+		p := &m.Mem.Pages[i]
+		e.u32(p.PN)
+		for _, w := range p.Words {
+			e.u32(uint32(w))
+		}
+	}
+	e.u32(uint32(len(m.Mem.NotPresent)))
+	for _, pn := range m.Mem.NotPresent {
+		e.u32(pn)
+	}
+	e.u64(m.Mem.PageFaults)
+}
+
+func decodeMachineImage(d *decoder) *vmach.MachineImage {
+	m := &vmach.MachineImage{Mem: &vmach.MemoryImage{}}
+	m.ProfileName = d.str()
+	decodeMachineStats(d, &m.Stats)
+	for n := d.sliceLen(8); n > 0 && d.err == nil; n-- {
+		m.WB = append(m.WB, d.u64())
+	}
+	for n := d.sliceLen(4 + 4*vmach.PageWords); n > 0 && d.err == nil; n-- {
+		var p vmach.PageImage
+		p.PN = d.u32()
+		for i := range p.Words {
+			p.Words[i] = isa.Word(d.u32())
+		}
+		m.Mem.Pages = append(m.Mem.Pages, p)
+	}
+	for n := d.sliceLen(4); n > 0 && d.err == nil; n-- {
+		m.Mem.NotPresent = append(m.Mem.NotPresent, d.u32())
+	}
+	m.Mem.PageFaults = d.u64()
+	return m
+}
+
+// Encode serializes the snapshot. The encoding of a given snapshot is a
+// pure function of its value: two equal snapshots encode to identical
+// bytes.
+func (s *Snapshot) Encode() []byte {
+	e := &encoder{}
+	e.b = append(e.b, checkpointMagic...)
+	e.u32(checkpointVersion)
+	e.str(s.Strategy)
+	e.u64(s.Quantum)
+	e.u64(s.SliceAt)
+	e.u64(s.Steps)
+	e.i32(s.CurID)
+	e.u32(s.UserHandler)
+	e.boolean(s.HasUserHandler)
+	encodeKernelStats(e, &s.Stats)
+	e.u32(uint32(len(s.Console)))
+	for _, w := range s.Console {
+		e.u32(uint32(w))
+	}
+	e.u32(uint32(len(s.Threads)))
+	for i := range s.Threads {
+		t := &s.Threads[i]
+		e.i32(t.AS)
+		encodeContext(e, &t.Ctx)
+		e.i32(int32(t.State))
+		e.u32(uint32(t.ExitCode))
+		e.i32(t.FaultKind)
+		e.u32(t.FaultAddr)
+		e.u64(t.Suspensions)
+		e.u64(t.Restarts)
+		e.boolean(t.NeedsCheck)
+		e.u32(t.SeqPC)
+		e.u64(t.SeqRestarts)
+		e.boolean(t.Extended)
+		e.boolean(t.BoostSlice)
+	}
+	e.u32(uint32(len(s.RunQ)))
+	for _, id := range s.RunQ {
+		e.i32(id)
+	}
+	e.u32(uint32(len(s.Ras)))
+	for _, r := range s.Ras {
+		e.i32(r.AS)
+		e.u32(r.Start)
+		e.u32(r.Length)
+	}
+	e.u32(uint32(len(s.MultiRanges)))
+	for _, r := range s.MultiRanges {
+		e.u32(r.Start)
+		e.u32(r.Length)
+	}
+	e.u32(uint32(len(s.Waits)))
+	for _, w := range s.Waits {
+		e.u32(w.Addr)
+		e.u32(uint32(len(w.TIDs)))
+		for _, id := range w.TIDs {
+			e.i32(id)
+		}
+	}
+	encodeMachineImage(e, s.Machine)
+	return e.b
+}
+
+// threadImageSize is a lower bound on one encoded ThreadImage, used to
+// reject absurd length prefixes early.
+const threadImageSize = 4 + (isa.NumRegs*4 + 4 + 1 + 4 + 8) + 4 + 4 + 4 + 4 + 8 + 8 + 1 + 4 + 8 + 1 + 1
+
+// DecodeSnapshot parses an encoded checkpoint. Every structural defect —
+// truncation, bad magic, unknown version, oversized lengths, non-canonical
+// booleans, trailing bytes — is reported as an error wrapping
+// ErrBadCheckpoint; the decoder never panics on garbage.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	d := &decoder{b: data}
+	if magic := d.take(len(checkpointMagic)); d.err == nil && string(magic) != checkpointMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadCheckpoint)
+	}
+	if v := d.u32(); d.err == nil && v != checkpointVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadCheckpoint, v)
+	}
+	s := &Snapshot{}
+	s.Strategy = d.str()
+	s.Quantum = d.u64()
+	s.SliceAt = d.u64()
+	s.Steps = d.u64()
+	s.CurID = d.i32()
+	s.UserHandler = d.u32()
+	s.HasUserHandler = d.boolean()
+	decodeKernelStats(d, &s.Stats)
+	for n := d.sliceLen(4); n > 0 && d.err == nil; n-- {
+		s.Console = append(s.Console, isa.Word(d.u32()))
+	}
+	for n := d.sliceLen(threadImageSize); n > 0 && d.err == nil; n-- {
+		var t ThreadImage
+		t.AS = d.i32()
+		decodeContext(d, &t.Ctx)
+		t.State = ThreadState(d.i32())
+		t.ExitCode = isa.Word(d.u32())
+		t.FaultKind = d.i32()
+		t.FaultAddr = d.u32()
+		t.Suspensions = d.u64()
+		t.Restarts = d.u64()
+		t.NeedsCheck = d.boolean()
+		t.SeqPC = d.u32()
+		t.SeqRestarts = d.u64()
+		t.Extended = d.boolean()
+		t.BoostSlice = d.boolean()
+		s.Threads = append(s.Threads, t)
+	}
+	for n := d.sliceLen(4); n > 0 && d.err == nil; n-- {
+		s.RunQ = append(s.RunQ, d.i32())
+	}
+	for n := d.sliceLen(12); n > 0 && d.err == nil; n-- {
+		s.Ras = append(s.Ras, RasImage{AS: d.i32(), Start: d.u32(), Length: d.u32()})
+	}
+	for n := d.sliceLen(8); n > 0 && d.err == nil; n-- {
+		s.MultiRanges = append(s.MultiRanges, RangeImage{Start: d.u32(), Length: d.u32()})
+	}
+	for n := d.sliceLen(8); n > 0 && d.err == nil; n-- {
+		w := WaitImage{Addr: d.u32()}
+		for m := d.sliceLen(4); m > 0 && d.err == nil; m-- {
+			w.TIDs = append(w.TIDs, d.i32())
+		}
+		s.Waits = append(s.Waits, w)
+	}
+	s.Machine = decodeMachineImage(d)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(d.b)-d.off)
+	}
+	return s, nil
+}

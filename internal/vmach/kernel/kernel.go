@@ -46,6 +46,10 @@ const (
 	// MutexLocked (locked, no waiters) or MutexLocked|MutexWaiters.
 	SysMutexSlow = 8 // a0 = mutex address; returns owning the mutex
 	SysMutexWake = 9 // a0 = mutex address; wakes one waiter (handoff)
+
+	// Recoverable-mutual-exclusion support: the liveness oracle. A lock
+	// word naming a dead owner is orphaned and may be repaired.
+	SysThreadAlive = 10 // a0 = tid; v0 = 1 if the thread can still run, else 0
 )
 
 // Mutex word values for the Taos-style designated mutex.
@@ -63,6 +67,7 @@ const (
 	StateBlocked
 	StateDone
 	StateFaulted
+	StateKilled // terminated by fault injection or KillThread; not a guest bug
 )
 
 func (s ThreadState) String() string {
@@ -77,6 +82,8 @@ func (s ThreadState) String() string {
 		return "done"
 	case StateFaulted:
 		return "faulted"
+	case StateKilled:
+		return "killed"
 	}
 	return "unknown"
 }
@@ -141,6 +148,7 @@ type Stats struct {
 	Injected        uint64 // chaos actions applied (any kind)
 	WatchdogExtends uint64 // one-time quantum extensions granted
 	WatchdogAborts  uint64 // livelocks aborted with a diagnostic
+	Kills           uint64 // threads killed (fault injection or KillThread)
 }
 
 // Config parametrizes a kernel instance.
@@ -186,6 +194,8 @@ type Kernel struct {
 	watchdog        chaos.Watchdog
 	steps           uint64         // retired-instruction ordinal for PointStep
 	livelock        *LivelockError // set by a watchdog abort; ends the run
+	crashed         error          // set by an injected machine crash; ends the run
+	deathFns        []func(*Thread)
 
 	threads []*Thread
 	runq    []*Thread
@@ -306,53 +316,88 @@ func (e *LivelockError) Error() string {
 // Unwrap makes errors.Is(err, ErrLivelock) hold.
 func (e *LivelockError) Unwrap() error { return ErrLivelock }
 
+// ErrMachineCrash matches (with errors.Is) the error from an injected
+// whole-machine crash: the run stops where it stood, as if power were cut.
+// A checkpoint taken at the crash restores to the exact pre-crash state
+// and replays identically.
+var ErrMachineCrash = errors.New("kernel: injected machine crash")
+
 // Run schedules threads until every thread has exited. It returns an error
 // if any thread faulted or the cycle budget was exceeded.
 func (k *Kernel) Run() error {
 	for {
-		if k.livelock != nil {
-			return k.livelock
-		}
-		if k.cur == nil {
-			if len(k.runq) == 0 {
-				if k.blocked > 0 {
-					return ErrDeadlock
-				}
-				return k.finish()
-			}
-			k.dispatch()
-			continue // re-test livelock: a resume-time check may have aborted
-		}
-		if k.M.Stats.Cycles > k.maxCycles {
-			return ErrBudget
-		}
-
-		ev := k.M.Step(&k.cur.Ctx)
-		switch ev.Kind {
-		case vmach.EventNone:
-			// Timer: preempt at slice end unless the i860 lock bit defers
-			// interrupts (its budget bounds the deferral).
-			if k.M.Stats.Cycles >= k.sliceAt && !k.cur.Ctx.LockActive {
-				k.preempt()
-			} else if k.faults != nil && !k.cur.Ctx.LockActive {
-				k.steps++
-				if act := k.faults.At(chaos.PointStep, k.steps); act.Any() {
-					k.injectStep(act)
-				}
-			}
-
-		case vmach.EventSyscall:
-			k.syscall(ev)
-
-		case vmach.EventBreak:
-			k.cur.State = StateDone
-			k.trace(TraceExit, k.cur, 0)
-			k.cur = nil
-
-		case vmach.EventFault:
-			k.fault(ev.Fault)
+		if fin, err := k.stepOnce(); fin {
+			return err
 		}
 	}
+}
+
+// RunSteps advances the run until n more instructions retire (or the run
+// ends first), reporting whether the run finished. Stopping by retired
+// instructions — not wall cycles — gives checkpoints a deterministic cut
+// point: the same program stopped at the same step always captures the
+// same state.
+func (k *Kernel) RunSteps(n uint64) (finished bool, err error) {
+	target := k.M.Stats.Instructions + n
+	for k.M.Stats.Instructions < target {
+		if fin, e := k.stepOnce(); fin {
+			return true, e
+		}
+	}
+	return false, nil
+}
+
+// stepOnce performs one scheduler iteration: dispatch if no thread is
+// running, otherwise execute one instruction and service whatever it
+// raised. It reports the run finished (with the run's verdict) or not.
+func (k *Kernel) stepOnce() (finished bool, err error) {
+	if k.livelock != nil {
+		return true, k.livelock
+	}
+	if k.crashed != nil {
+		return true, k.crashed
+	}
+	if k.cur == nil {
+		if len(k.runq) == 0 {
+			if k.blocked > 0 {
+				return true, ErrDeadlock
+			}
+			return true, k.finish()
+		}
+		k.dispatch()
+		return false, nil // re-test livelock: a resume-time check may have aborted
+	}
+	if k.M.Stats.Cycles > k.maxCycles {
+		return true, ErrBudget
+	}
+
+	ev := k.M.Step(&k.cur.Ctx)
+	switch ev.Kind {
+	case vmach.EventNone:
+		// Timer: preempt at slice end unless the i860 lock bit defers
+		// interrupts (its budget bounds the deferral).
+		if k.M.Stats.Cycles >= k.sliceAt && !k.cur.Ctx.LockActive {
+			k.preempt()
+		} else if k.faults != nil && !k.cur.Ctx.LockActive {
+			k.steps++
+			if act := k.faults.At(chaos.PointStep, k.steps); act.Any() {
+				k.injectStep(act)
+			}
+		}
+
+	case vmach.EventSyscall:
+		k.syscall(ev)
+
+	case vmach.EventBreak:
+		k.cur.State = StateDone
+		k.trace(TraceExit, k.cur, 0)
+		k.notifyDeath(k.cur)
+		k.cur = nil
+
+	case vmach.EventFault:
+		k.fault(ev.Fault)
+	}
+	return false, nil
 }
 
 func (k *Kernel) finish() error {
@@ -424,6 +469,11 @@ func (k *Kernel) injectStep(act chaos.Action) {
 		k.M.Mem.SetPresent(t.Ctx.Regs[isa.RegSP], false)
 	}
 	switch {
+	case act.Crash:
+		k.crash()
+	case act.Kill:
+		k.reap(t)
+		k.cur = nil
 	case act.Preempt:
 		k.preempt()
 	case act.SpuriousSuspend:
@@ -434,6 +484,107 @@ func (k *Kernel) injectStep(act chaos.Action) {
 		k.cur = nil
 	}
 }
+
+// crash records an injected whole-machine crash. k.cur is left in place:
+// a checkpoint taken at the crash captures the machine exactly as it
+// stood, so a restore followed by Run replays the uncrashed remainder.
+func (k *Kernel) crash() {
+	k.trace(TraceCrash, k.cur, k.steps)
+	k.crashed = fmt.Errorf("%w at step %d", ErrMachineCrash, k.steps)
+}
+
+// reap finalizes a killed thread. Death strikes between instructions, so
+// the context freezes wherever the thread stood — possibly inside a
+// restartable sequence, possibly owning a lock. Everything the scheduler
+// and recovery machinery associate with the thread is torn down: it will
+// never be dispatched, checked, or rolled back again.
+func (k *Kernel) reap(t *Thread) {
+	t.State = StateKilled
+	t.needsCheck = false
+	t.boostSlice = false
+	t.Ctx.LockActive = false
+	t.seqRestarts = 0
+	k.Stats.Kills++
+	k.chargeKernel(uint64(k.Profile.SuspendCycles))
+	k.trace(TraceKill, t, 0)
+	// Unregister the address space's sequence when its last live thread
+	// dies: registration belongs to the space (§3.1), and a dead space
+	// must not keep rolling back PCs that will never run.
+	live := false
+	for _, o := range k.threads {
+		if o != t && o.AS == t.AS && o.State != StateDone && o.State != StateFaulted && o.State != StateKilled {
+			live = true
+			break
+		}
+	}
+	if !live {
+		delete(k.rasBySpace, t.AS)
+	}
+	k.notifyDeath(t)
+}
+
+// KillThread terminates thread id where it stands — the deterministic
+// analogue of a chaos kill, used by rasvm's -kill-at flag and teardown
+// tests. Unknown or already-terminated threads are an error.
+func (k *Kernel) KillThread(id int) error {
+	if id < 0 || id >= len(k.threads) {
+		return fmt.Errorf("kernel: KillThread(%d): no such thread", id)
+	}
+	t := k.threads[id]
+	switch t.State {
+	case StateRunning:
+		k.reap(t)
+		k.cur = nil
+	case StateReady:
+		for i, q := range k.runq {
+			if q == t {
+				k.runq = append(k.runq[:i], k.runq[i+1:]...)
+				break
+			}
+		}
+		k.reap(t)
+	case StateBlocked:
+		for addr, q := range k.waitq {
+			for i, w := range q {
+				if w != t {
+					continue
+				}
+				q = append(q[:i], q[i+1:]...)
+				if len(q) == 0 {
+					delete(k.waitq, addr)
+				} else {
+					k.waitq[addr] = q
+				}
+				k.blocked--
+				break
+			}
+		}
+		k.reap(t)
+	default:
+		return fmt.Errorf("kernel: KillThread(%d): thread already %v", id, t.State)
+	}
+	return nil
+}
+
+// OnThreadDeath registers fn to run whenever a thread dies — exits,
+// breaks, or is killed. Callbacks run synchronously inside the kernel and
+// may inspect memory through k.M; lock-owner bookkeeping (orphan
+// detection) is the intended use.
+func (k *Kernel) OnThreadDeath(fn func(*Thread)) { k.deathFns = append(k.deathFns, fn) }
+
+func (k *Kernel) notifyDeath(t *Thread) {
+	for _, fn := range k.deathFns {
+		fn(t)
+	}
+}
+
+// Current returns the running thread, or nil between timeslices. Harness
+// watchpoints use it to attribute stores to threads.
+func (k *Kernel) Current() *Thread { return k.cur }
+
+// Steps returns the retired-instruction ordinal consulted for
+// chaos.PointStep injection — the kernel's fault-schedule cursor.
+func (k *Kernel) Steps() uint64 { return k.steps }
 
 // chargeKernel accounts kernel-path cycles on the global clock.
 func (k *Kernel) chargeKernel(cy uint64) { k.M.Stats.Cycles += cy }
@@ -603,6 +754,7 @@ func (k *Kernel) syscall(ev vmach.Event) {
 		t.State = StateDone
 		t.ExitCode = a0
 		k.trace(TraceExit, t, uint64(a0))
+		k.notifyDeath(t)
 		k.cur = nil
 		return // no trap-exit charge for a dead thread
 
@@ -671,6 +823,20 @@ func (k *Kernel) syscall(ev vmach.Event) {
 
 	case SysSetHandler:
 		k.userHandler, k.hasUserHandler = a0, true
+
+	case SysThreadAlive:
+		// The RME liveness oracle, answered with interrupts disabled: is
+		// the named thread still able to run? Out-of-range IDs are dead —
+		// a lock word naming no thread is orphaned.
+		alive := isa.Word(0)
+		if tid := int(int32(a0)); tid >= 0 && tid < len(k.threads) {
+			switch k.threads[tid].State {
+			case StateDone, StateFaulted, StateKilled:
+			default:
+				alive = 1
+			}
+		}
+		t.Ctx.Regs[isa.RegV0] = alive
 
 	case SysMutexSlow:
 		// The inlined designated sequence found the mutex held (Figure 5's

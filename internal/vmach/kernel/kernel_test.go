@@ -12,7 +12,7 @@ import (
 
 // boot assembles src, loads it, spawns main at thread-0's stack, and
 // returns the kernel (not yet run).
-func boot(t *testing.T, cfg Config, src string) (*Kernel, *asm.Program) {
+func boot(t testing.TB, cfg Config, src string) (*Kernel, *asm.Program) {
 	t.Helper()
 	prog, err := asm.Assemble(src)
 	if err != nil {

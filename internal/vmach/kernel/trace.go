@@ -18,6 +18,8 @@ const (
 	TraceFault
 	TraceInject   // a chaos fault was applied (Arg = chaos.Action bits)
 	TraceWatchdog // the restart-livelock watchdog fired (Arg = restart count)
+	TraceKill     // a thread was killed (fault injection or KillThread)
+	TraceCrash    // an injected machine crash ended the run
 )
 
 func (t TraceType) String() string {
@@ -40,6 +42,10 @@ func (t TraceType) String() string {
 		return "inject"
 	case TraceWatchdog:
 		return "watchdog"
+	case TraceKill:
+		return "kill"
+	case TraceCrash:
+		return "crash"
 	}
 	return "?"
 }

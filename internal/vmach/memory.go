@@ -60,6 +60,10 @@ type Memory struct {
 	notPresent map[uint32]bool // page number -> forced page fault
 	// PageFaults counts not-present faults taken.
 	PageFaults uint64
+
+	// watchers, keyed by word address, observe committed stores. Harness
+	// state, not machine state: snapshots do not capture them.
+	watchers map[uint32][]func(old, new isa.Word)
 }
 
 // NewMemory returns an empty memory.
@@ -121,8 +125,26 @@ func (m *Memory) StoreWord(addr uint32, v isa.Word) *Fault {
 	if f := m.check(addr); f != nil {
 		return f
 	}
-	m.page(addr)[addr>>2&(PageWords-1)] = v
+	p := m.page(addr)
+	i := addr >> 2 & (PageWords - 1)
+	old := p[i]
+	p[i] = v
+	for _, fn := range m.watchers[addr] {
+		fn(old, v)
+	}
 	return nil
+}
+
+// Watch registers fn to observe every committed store to the word at addr
+// (guest sw and interlocked instructions; Poke bypasses it). Watchpoints
+// let a harness validate per-word protocol invariants — e.g. that a lock
+// word only ever transitions legally — as the machine runs. They are
+// harness furniture: snapshots neither capture nor restore them.
+func (m *Memory) Watch(addr uint32, fn func(old, new isa.Word)) {
+	if m.watchers == nil {
+		m.watchers = make(map[uint32][]func(old, new isa.Word))
+	}
+	m.watchers[addr] = append(m.watchers[addr], fn)
 }
 
 // Peek reads a word ignoring presence bits (for debuggers and tests).

@@ -1,0 +1,99 @@
+package vmach
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// PageImage is one captured memory page.
+type PageImage struct {
+	PN    uint32 // page number (addr >> PageShift)
+	Words [PageWords]isa.Word
+}
+
+// MemoryImage is a deterministic value snapshot of a Memory: pages and
+// not-present page numbers are sorted, so two captures of identical
+// memories are deeply equal (and encode to identical bytes). Watchpoints
+// are harness state and are not part of the image.
+type MemoryImage struct {
+	Pages      []PageImage
+	NotPresent []uint32
+	PageFaults uint64
+}
+
+// Capture snapshots the memory.
+func (m *Memory) Capture() *MemoryImage {
+	img := &MemoryImage{PageFaults: m.PageFaults}
+	pns := make([]uint32, 0, len(m.pages))
+	for pn := range m.pages {
+		pns = append(pns, pn)
+	}
+	sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+	for _, pn := range pns {
+		img.Pages = append(img.Pages, PageImage{PN: pn, Words: *m.pages[pn]})
+	}
+	for pn := range m.notPresent {
+		img.NotPresent = append(img.NotPresent, pn)
+	}
+	sort.Slice(img.NotPresent, func(i, j int) bool { return img.NotPresent[i] < img.NotPresent[j] })
+	return img
+}
+
+// Restore replaces the memory's contents with the image's. Watchpoints
+// registered on the memory survive a restore.
+func (m *Memory) Restore(img *MemoryImage) {
+	m.pages = make(map[uint32]*[PageWords]isa.Word, len(img.Pages))
+	for i := range img.Pages {
+		p := img.Pages[i].Words // copy: the image stays pristine
+		m.pages[img.Pages[i].PN] = &p
+	}
+	m.notPresent = make(map[uint32]bool, len(img.NotPresent))
+	for _, pn := range img.NotPresent {
+		m.notPresent[pn] = true
+	}
+	m.PageFaults = img.PageFaults
+}
+
+// MachineImage is a value snapshot of a Machine: execution statistics, the
+// write-buffer drain queue, and memory. The profile is identified by name
+// only — the restorer must supply the same profile, which Restore checks.
+type MachineImage struct {
+	ProfileName string
+	Stats       Stats
+	WB          []uint64
+	Mem         *MemoryImage
+}
+
+// Capture snapshots the machine.
+func (m *Machine) Capture() *MachineImage {
+	return &MachineImage{
+		ProfileName: m.Profile.Name,
+		Stats:       m.Stats,
+		WB:          append([]uint64(nil), m.wb...),
+		Mem:         m.Mem.Capture(),
+	}
+}
+
+// Restore replaces the machine's state with the image's. The machine must
+// have been created with the same profile the image was captured under;
+// a cost model mismatch would silently diverge the replay, so it is
+// reported as an error instead.
+func (m *Machine) Restore(img *MachineImage) error {
+	if img.ProfileName != m.Profile.Name {
+		return &RestoreError{Want: img.ProfileName, Got: m.Profile.Name}
+	}
+	m.Stats = img.Stats
+	m.wb = append([]uint64(nil), img.WB...)
+	m.Mem.Restore(img.Mem)
+	return nil
+}
+
+// RestoreError reports a snapshot restored onto a mismatched machine.
+type RestoreError struct {
+	Want, Got string
+}
+
+func (e *RestoreError) Error() string {
+	return "vmach: snapshot captured on profile " + e.Want + ", restored onto " + e.Got
+}
