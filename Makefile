@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos recovery examples fuzz fmt vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery examples fuzz fmt lint vet clean tier1
 
 all: build vet test
 
@@ -56,6 +56,12 @@ fuzz:
 
 fmt:
 	gofmt -w .
+
+# What CI's lint job runs: formatting check (fails on diff) + vet.
+lint:
+	@diff=$$(gofmt -l .); if [ -n "$$diff" ]; then \
+		echo "files need gofmt:" >&2; echo "$$diff" >&2; exit 1; fi
+	$(GO) vet ./...
 
 vet:
 	$(GO) vet ./...

@@ -7,6 +7,8 @@
 //	rasbench -table 1            # just Table 1
 //	rasbench -table 3 -scale 4   # Table 3 with 4x workloads
 //	rasbench -iters 100000       # longer microbenchmark loops
+//	rasbench -table 1 -json -    # machine-readable results on stdout
+//	rasbench -table 2 -trace-out t2.json  # Perfetto trace of the runs
 //
 // Tables: 1 (microbenchmarks), 2 (thread management), 3 (applications),
 // 4 (eight architectures), i860 (§7 lock bit), lamport (reservation
@@ -18,169 +20,275 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/arch"
 	"repro/internal/bench"
+	"repro/internal/obs"
 )
 
+// benchOpts collects everything the CLI configures for one invocation.
+type benchOpts struct {
+	table        string
+	iters, scale int
+	seed         uint64
+	level        float64
+	timeout      uint64
+	jsonOut      string // per-table results as JSON ("-" = stdout)
+	traceOut     string // Chrome trace-event JSON of every run ("-" = stdout)
+	metrics      string // event-derived metrics dump ("-" = stdout)
+}
+
 func main() {
-	table := flag.String("table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,all")
-	itersF := flag.Int("iters", 20000, "microbenchmark loop iterations")
-	scale := flag.Int("scale", 1, "table 3 workload multiplier")
-	seed := flag.Uint64("seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
-	level := flag.Float64("level", 0, "chaos fault intensity in (0,1]; 0 sweeps the default levels")
-	timeout := flag.Uint64("timeout", 0, "cycle budget per run (0 = substrate default); a livelocked guest exits nonzero")
+	var o benchOpts
+	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,all")
+	flag.IntVar(&o.iters, "iters", 20000, "microbenchmark loop iterations")
+	flag.IntVar(&o.scale, "scale", 1, "table 3 workload multiplier")
+	flag.Uint64Var(&o.seed, "seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
+	flag.Float64Var(&o.level, "level", 0, "chaos fault intensity in (0,1]; 0 sweeps the default levels")
+	flag.Uint64Var(&o.timeout, "timeout", 0, "cycle budget per run (0 = substrate default); a livelocked guest exits nonzero")
+	flag.StringVar(&o.jsonOut, "json", "", "write per-table results (name, cycles, restarts, traps) as JSON (\"-\" = stdout)")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of every substrate run (\"-\" = stdout; load in Perfetto)")
+	flag.StringVar(&o.metrics, "metrics", "", "write a plain-text metrics dump derived from the event stream (\"-\" = stdout)")
 	flag.Parse()
 
-	if err := run(*table, *itersF, *scale, *seed, *level, *timeout); err != nil {
+	if err := runOpts(o); err != nil {
 		fmt.Fprintln(os.Stderr, "rasbench:", err)
 		os.Exit(1)
 	}
 }
 
+// run keeps the historical positional signature used throughout the tests;
+// runOpts is the flag-level entry.
 func run(table string, iters, scale int, seed uint64, level float64, timeout uint64) error {
-	all := table == "all"
-	section := func(title string) { fmt.Printf("\n== %s ==\n\n", title) }
+	return runOpts(benchOpts{table: table, iters: iters, scale: scale,
+		seed: seed, level: level, timeout: timeout})
+}
 
-	if all || table == "1" {
-		section("Table 1: mutual exclusion microbenchmarks, DECstation 5000/200 (simulated)")
-		rows, err := bench.Table1(iters)
+// tableResult is one -json record: the aggregate substrate counters behind
+// one regenerated table.
+type tableResult struct {
+	Name        string `json:"name"`
+	Runs        int    `json:"runs"`
+	Cycles      uint64 `json:"cycles"`
+	Restarts    uint64 `json:"restarts"`
+	Preemptions uint64 `json:"preemptions"`
+	Traps       uint64 `json:"traps"`
+}
+
+func runOpts(o benchOpts) error {
+	all := o.table == "all"
+
+	// Observability: one bus receives every substrate run the harness
+	// starts (rebased end-to-end by the bench package), feeding the
+	// Chrome capture and the event-derived metrics.
+	var capture *obs.Capture
+	var pm *obs.PaperMetrics
+	if o.traceOut != "" || o.metrics != "" {
+		bus := obs.NewBus(0)
+		if o.traceOut != "" {
+			capture = &obs.Capture{}
+			bus.Attach(capture)
+		}
+		if o.metrics != "" {
+			pm = obs.NewPaperMetrics(nil)
+			bus.Attach(pm)
+		}
+		bench.SetTraceSink(bus)
+		defer bench.SetTraceSink(nil)
+	}
+
+	var results []tableResult
+	runTable := func(name, title string, fn func() (string, error)) error {
+		if !all && o.table != name {
+			return nil
+		}
+		fmt.Printf("\n== %s ==\n\n", title)
+		var rs bench.RunStats
+		bench.CollectStats(&rs)
+		out, err := fn()
+		bench.CollectStats(nil)
 		if err != nil {
 			return err
 		}
-		fmt.Print(bench.FormatTable1(rows))
-	}
-	if all || table == "2" {
-		section("Table 2: thread management overhead, emulation vs R.A.S.")
-		rows, err := bench.Table2(iters / 10)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatTable2(rows))
-	}
-	if all || table == "3" {
-		section("Table 3: application performance")
-		s := bench.DefaultScale()
-		s.TextParas *= scale
-		s.AFSDirs *= scale
-		s.ParthChain *= scale
-		s.ProtonKB *= scale
-		rows, err := bench.Table3(s)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatTable3(rows))
-	}
-	if all || table == "4" {
-		section("Table 4: hardware vs software Test-And-Set, eight processors")
-		rows, err := bench.Table4(iters)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatTable4(rows))
-	}
-	if all || table == "i860" {
-		section("i860 hardware lock bit vs software (§7)")
-		rows, err := bench.TableI860(iters)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatI860(rows))
-	}
-	if all || table == "lamport" {
-		section("Software reservation protocols (Figure 1 vs Figure 2)")
-		rows, err := bench.TableLamport(iters)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatLamport(rows))
-	}
-	if all || table == "holdups" {
-		section("parthenon-10 lock holdups (§5.3)")
-		s := bench.DefaultScale()
-		s.Quantum = 3000
-		rows, err := bench.TableHoldups(s)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatHoldups(rows))
-	}
-	if all || table == "ablation" {
-		section("PC-check placement ablation (§4.1)")
-		rows, err := bench.TableAblation(3, 200)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatAblation(rows))
-	}
-	if all || table == "wbuf" {
-		section("Write-buffer sensitivity (§5.1 design remark)")
-		rows, err := bench.TableWriteBuffer(iters)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatWriteBuffer(rows))
-	}
-	if all || table == "ranges" {
-		section("Registration-table size vs check cost (§3.1 restriction)")
-		rows, err := bench.TableRegistrationRanges(3, 200)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatRanges(rows, arch.R3000().PCCheckDesignatedCycles))
-	}
-	if all || table == "quantum" {
-		section("Restart frequency vs scheduling quantum (validating §5.3's optimism)")
-		rows, err := bench.TableQuantumSweep(4, 500, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatQuantumSweep(rows))
-	}
-	if all || table == "workers" {
-		section("Server worker pool on a uniprocessor (afs-bench client)")
-		rows, err := bench.TableServerWorkers(nil)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatServerWorkers(rows))
-	}
-	if all || table == "chaos" {
-		section("Chaos sweep: seeded fault injection, watchdog, degradation")
-		cfg := bench.DefaultChaosConfig()
-		if seed != 0 {
-			cfg.Seed = seed
-		}
-		if level > 0 {
-			cfg.Levels = []float64{level}
-		}
-		cfg.MaxCycles = timeout
-		rows, err := bench.TableChaos(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatChaos(rows))
-	}
-	if all || table == "recovery" {
-		section("Recovery sweep: thread kills, orphan repair, checkpoint/restore")
-		cfg := bench.DefaultRecoveryConfig()
-		if seed != 0 {
-			cfg.Seed = seed
-		}
-		cfg.MaxCycles = timeout
-		rows, err := bench.TableRecovery(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatRecovery(rows))
-	}
-	switch table {
-	case "all", "1", "2", "3", "4", "i860", "lamport", "holdups", "ablation",
-		"wbuf", "ranges", "quantum", "workers", "chaos", "recovery":
+		fmt.Print(out)
+		results = append(results, tableResult{Name: name, Runs: rs.Runs,
+			Cycles: rs.Cycles, Restarts: rs.Restarts,
+			Preemptions: rs.Preemptions, Traps: rs.EmulTraps})
 		return nil
 	}
-	return fmt.Errorf("unknown table %q", table)
+
+	steps := []struct {
+		name, title string
+		fn          func() (string, error)
+	}{
+		{"1", "Table 1: mutual exclusion microbenchmarks, DECstation 5000/200 (simulated)", func() (string, error) {
+			rows, err := bench.Table1(o.iters)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatTable1(rows), nil
+		}},
+		{"2", "Table 2: thread management overhead, emulation vs R.A.S.", func() (string, error) {
+			rows, err := bench.Table2(o.iters / 10)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatTable2(rows), nil
+		}},
+		{"3", "Table 3: application performance", func() (string, error) {
+			s := bench.DefaultScale()
+			s.TextParas *= o.scale
+			s.AFSDirs *= o.scale
+			s.ParthChain *= o.scale
+			s.ProtonKB *= o.scale
+			rows, err := bench.Table3(s)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatTable3(rows), nil
+		}},
+		{"4", "Table 4: hardware vs software Test-And-Set, eight processors", func() (string, error) {
+			rows, err := bench.Table4(o.iters)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatTable4(rows), nil
+		}},
+		{"i860", "i860 hardware lock bit vs software (§7)", func() (string, error) {
+			rows, err := bench.TableI860(o.iters)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatI860(rows), nil
+		}},
+		{"lamport", "Software reservation protocols (Figure 1 vs Figure 2)", func() (string, error) {
+			rows, err := bench.TableLamport(o.iters)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatLamport(rows), nil
+		}},
+		{"holdups", "parthenon-10 lock holdups (§5.3)", func() (string, error) {
+			s := bench.DefaultScale()
+			s.Quantum = 3000
+			rows, err := bench.TableHoldups(s)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatHoldups(rows), nil
+		}},
+		{"ablation", "PC-check placement ablation (§4.1)", func() (string, error) {
+			rows, err := bench.TableAblation(3, 200)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatAblation(rows), nil
+		}},
+		{"wbuf", "Write-buffer sensitivity (§5.1 design remark)", func() (string, error) {
+			rows, err := bench.TableWriteBuffer(o.iters)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatWriteBuffer(rows), nil
+		}},
+		{"ranges", "Registration-table size vs check cost (§3.1 restriction)", func() (string, error) {
+			rows, err := bench.TableRegistrationRanges(3, 200)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatRanges(rows, arch.R3000().PCCheckDesignatedCycles), nil
+		}},
+		{"quantum", "Restart frequency vs scheduling quantum (validating §5.3's optimism)", func() (string, error) {
+			rows, err := bench.TableQuantumSweep(4, 500, nil)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatQuantumSweep(rows), nil
+		}},
+		{"workers", "Server worker pool on a uniprocessor (afs-bench client)", func() (string, error) {
+			rows, err := bench.TableServerWorkers(nil)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatServerWorkers(rows), nil
+		}},
+		{"chaos", "Chaos sweep: seeded fault injection, watchdog, degradation", func() (string, error) {
+			cfg := bench.DefaultChaosConfig()
+			if o.seed != 0 {
+				cfg.Seed = o.seed
+			}
+			if o.level > 0 {
+				cfg.Levels = []float64{o.level}
+			}
+			cfg.MaxCycles = o.timeout
+			rows, err := bench.TableChaos(cfg)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatChaos(rows), nil
+		}},
+		{"recovery", "Recovery sweep: thread kills, orphan repair, checkpoint/restore", func() (string, error) {
+			cfg := bench.DefaultRecoveryConfig()
+			if o.seed != 0 {
+				cfg.Seed = o.seed
+			}
+			cfg.MaxCycles = o.timeout
+			rows, err := bench.TableRecovery(cfg)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatRecovery(rows), nil
+		}},
+	}
+
+	known := all
+	for _, s := range steps {
+		if s.name == o.table {
+			known = true
+		}
+		if err := runTable(s.name, s.title, s.fn); err != nil {
+			return err
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown table %q", o.table)
+	}
+
+	if o.jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", " ")
+		if err != nil {
+			return err
+		}
+		if err := writeOut(o.jsonOut, append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	if capture != nil {
+		data, err := obs.ChromeTrace(capture.Events())
+		if err != nil {
+			return err
+		}
+		if err := writeOut(o.traceOut, data); err != nil {
+			return err
+		}
+	}
+	if pm != nil {
+		if err := writeOut(o.metrics, []byte(pm.Dump())); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeOut writes data to path, with "-" meaning stdout.
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -1,0 +1,170 @@
+// Command rastrace inspects the observability artifacts the other tools
+// produce: Chrome trace-event JSON (rasvm/rasbench -trace-out) and
+// folded-stack cycle profiles (rasvm -folded).
+//
+// Usage:
+//
+//	rastrace trace.json            # validate and summarize a Chrome trace
+//	rastrace -top 5 prof.folded    # heaviest stacks of a folded profile
+//	rastrace t1.json t2.json       # several files in one invocation
+//
+// File type is detected from content: JSON traces start with '{'. A trace
+// that fails structural validation (non-monotone per-track timestamps,
+// unbalanced slices) exits non-zero — the same checks the repository's
+// round-trip tests apply.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	top := flag.Int("top", 10, "how many rows to show per summary section")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "rastrace: expected at least one trace.json or profile.folded file")
+		os.Exit(2)
+	}
+	if err := run(flag.Args(), *top, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "rastrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(paths []string, top int, w io.Writer) error {
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if len(paths) > 1 {
+			fmt.Fprintf(w, "== %s ==\n", path)
+		}
+		trimmed := strings.TrimLeft(string(data), " \t\r\n")
+		if strings.HasPrefix(trimmed, "{") {
+			err = summarizeChrome(w, path, data, top)
+		} else {
+			err = summarizeFolded(w, data, top)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summarizeChrome validates a Chrome trace and prints its shape: tracks,
+// time span, slice and instant counts, and the busiest instant names.
+func summarizeChrome(w io.Writer, path string, data []byte, top int) error {
+	doc, err := obs.DecodeChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	chaosInstants, err := obs.ValidateChrome(doc)
+	if err != nil {
+		return fmt.Errorf("%s: invalid trace: %w", path, err)
+	}
+
+	tracks := map[int]bool{}
+	names := map[string]int{}
+	var slices, instants int
+	var minTS, maxTS uint64
+	first := true
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "M" {
+			continue
+		}
+		tracks[ev.TID] = true
+		switch ev.Phase {
+		case "B":
+			slices++
+		case "i", "I":
+			instants++
+			names[ev.Name]++
+		}
+		if first || ev.TS < minTS {
+			minTS = ev.TS
+		}
+		if ev.TS > maxTS {
+			maxTS = ev.TS
+		}
+		first = false
+	}
+	fmt.Fprintf(w, "valid Chrome trace: %d events on %d tracks\n", len(doc.TraceEvents), len(tracks))
+	fmt.Fprintf(w, "span:   cycles %d..%d (%d)\n", minTS, maxTS, maxTS-minTS)
+	fmt.Fprintf(w, "slices: %d, instants: %d (%d chaos injections)\n", slices, instants, chaosInstants)
+	type nc struct {
+		name string
+		n    int
+	}
+	rows := make([]nc, 0, len(names))
+	for n, c := range names {
+		rows = append(rows, nc{n, c})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].name < rows[j].name
+	})
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %8d  %s\n", r.n, r.name)
+	}
+	return nil
+}
+
+// summarizeFolded prints the heaviest stacks of a folded-stack profile
+// ("frameA;frameB weight" per line).
+func summarizeFolded(w io.Writer, data []byte, top int) error {
+	type row struct {
+		stack  string
+		weight uint64
+	}
+	var rows []row
+	var total uint64
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return fmt.Errorf("folded profile: line %d has no weight: %q", ln+1, line)
+		}
+		weight, err := strconv.ParseUint(line[i+1:], 10, 64)
+		if err != nil {
+			return fmt.Errorf("folded profile: line %d: %w", ln+1, err)
+		}
+		rows = append(rows, row{line[:i], weight})
+		total += weight
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].weight != rows[j].weight {
+			return rows[i].weight > rows[j].weight
+		}
+		return rows[i].stack < rows[j].stack
+	})
+	fmt.Fprintf(w, "folded profile: %d stacks, %d total cycles\n", len(rows), total)
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	for _, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(r.weight) / float64(total)
+		}
+		fmt.Fprintf(w, "  %12d %5.1f%%  %s\n", r.weight, pct, r.stack)
+	}
+	return nil
+}

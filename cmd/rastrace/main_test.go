@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func writeTrace(t *testing.T, dir string) string {
+	t.Helper()
+	data, err := obs.ChromeTrace([]Event{
+		{Cycle: 0, Type: obs.KindDispatch, Thread: 0},
+		{Cycle: 50, Type: obs.KindInject, Thread: 0, Arg: 4},
+		{Cycle: 200, Type: obs.KindExit, Thread: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "trace.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+type Event = obs.Event
+
+func TestSummarizeChromeTrace(t *testing.T) {
+	path := writeTrace(t, t.TempDir())
+	var b strings.Builder
+	if err := run([]string{path}, 10, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "valid Chrome trace") {
+		t.Errorf("missing validation line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 chaos injections") {
+		t.Errorf("chaos count missing:\n%s", out)
+	}
+}
+
+func TestSummarizeFoldedProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prof.folded")
+	folded := "main;acquire 700\nmain 250\n[kernel] 50\n"
+	if err := os.WriteFile(path, []byte(folded), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{path}, 2, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "3 stacks, 1000 total cycles") {
+		t.Errorf("totals wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "main;acquire") || !strings.Contains(out, "70.0%") {
+		t.Errorf("heaviest stack missing:\n%s", out)
+	}
+	// top=2 must truncate the third row.
+	if strings.Contains(out, "[kernel]") {
+		t.Errorf("top limit not applied:\n%s", out)
+	}
+}
+
+func TestMultipleFilesGetHeaders(t *testing.T) {
+	dir := t.TempDir()
+	trace := writeTrace(t, dir)
+	folded := filepath.Join(dir, "p.folded")
+	if err := os.WriteFile(folded, []byte("main 10\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{trace, folded}, 5, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "== ") != 2 {
+		t.Errorf("per-file headers missing:\n%s", b.String())
+	}
+}
+
+func TestRejectsInvalidInputs(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run([]string{filepath.Join(dir, "missing.json")}, 5, &b); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	// Structurally broken trace: an E with no matching B.
+	doc := `{"traceEvents":[{"name":"running","ph":"E","ts":5,"pid":0,"tid":0}]}`
+	if err := os.WriteFile(bad, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{bad}, 5, &b); err == nil {
+		t.Error("unbalanced trace accepted")
+	}
+	garble := filepath.Join(dir, "g.folded")
+	if err := os.WriteFile(garble, []byte("no-weight-here\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{garble}, 5, &b); err == nil {
+		t.Error("weightless folded line accepted")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/chaos"
 	"repro/internal/guest"
+	"repro/internal/obs"
 	"repro/internal/vmach/kernel"
 )
 
@@ -52,8 +53,15 @@ type options struct {
 	checkpoint              string // snapshot file to write
 	checkpointAt            uint64 // step to checkpoint at (0 = only at crash)
 	restore                 string // snapshot file to resume from
+	traceOut                string // Chrome trace-event JSON destination ("-" = stdout)
+	metrics                 string // metrics dump destination ("-" = stdout)
+	profTop                 int    // top-N cycle profile report (0 = off)
+	folded                  string // folded-stack profile destination ("-" = stdout)
 	args                    []string
 }
+
+// demos lists the built-in workloads -demo accepts.
+var demos = []string{"counter", "recoverable"}
 
 func main() {
 	var o options
@@ -75,6 +83,10 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "write a binary machine snapshot to this file (at -checkpoint-at, or where a crash struck)")
 	flag.Uint64Var(&o.checkpointAt, "checkpoint-at", 0, "retired-instruction step to checkpoint at (0 = only at crash)")
 	flag.StringVar(&o.restore, "restore", "", "resume from a snapshot file instead of loading a program")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of the run (\"-\" = stdout; load in Perfetto)")
+	flag.StringVar(&o.metrics, "metrics", "", "write a plain-text metrics dump derived from the event stream (\"-\" = stdout)")
+	flag.IntVar(&o.profTop, "profile", 0, "print the top-N symbols of the cycle-attributed profile (0 disables)")
+	flag.StringVar(&o.folded, "folded", "", "write the cycle profile as folded stacks for flamegraph tools (\"-\" = stdout)")
 	flag.Parse()
 	o.args = flag.Args()
 
@@ -160,7 +172,7 @@ func run(o options) error {
 		case o.demo == "recoverable":
 			src = guest.RecoverableCounterProgram(o.workers, o.iters)
 		case o.demo != "":
-			return fmt.Errorf("unknown demo %q", o.demo)
+			return fmt.Errorf("unknown demo %q (available: %s)", o.demo, strings.Join(demos, ", "))
 		case len(o.args) == 1:
 			raw, err := os.ReadFile(o.args[0])
 			if err != nil {
@@ -181,10 +193,30 @@ func run(o options) error {
 		}
 		k.Spawn(entry, guest.StackTop(0))
 	}
+	// Observability: one bus feeds the -trace ring tail, the -trace-out
+	// Chrome capture, and the -metrics event-derived counters.
 	var tracer *kernel.RingTracer
-	if o.trace > 0 {
-		tracer = kernel.NewRingTracer(o.trace)
-		k.Tracer = tracer
+	var capture *obs.Capture
+	var pm *obs.PaperMetrics
+	if o.trace > 0 || o.traceOut != "" || o.metrics != "" {
+		bus := obs.NewBus(o.trace)
+		if o.trace > 0 {
+			tracer = bus.Ring()
+		}
+		if o.traceOut != "" {
+			capture = &obs.Capture{}
+			bus.Attach(capture)
+		}
+		if o.metrics != "" {
+			pm = obs.NewPaperMetrics(nil)
+			bus.Attach(pm)
+		}
+		k.Tracer = bus
+	}
+	var cprof *obs.CycleProfiler
+	if o.profTop > 0 || o.folded != "" {
+		cprof = obs.NewCycleProfiler()
+		k.AttachProfiler(cprof, prog)
 	}
 
 	var runErr error
@@ -243,6 +275,31 @@ func run(o options) error {
 	if tracer != nil {
 		fmt.Printf("\nlast %d of %d kernel events:\n%s", len(tracer.Events()), tracer.Total(), tracer)
 	}
+	if capture != nil {
+		data, err := obs.ChromeTrace(capture.Events())
+		if err != nil {
+			return err
+		}
+		if err := writeOut(o.traceOut, data); err != nil {
+			return err
+		}
+		if o.traceOut != "-" {
+			fmt.Printf("trace:         %s (%d events; load in Perfetto)\n", o.traceOut, capture.Len())
+		}
+	}
+	if pm != nil {
+		if err := writeOut(o.metrics, []byte(pm.Dump())); err != nil {
+			return err
+		}
+	}
+	if cprof != nil && o.profTop > 0 {
+		fmt.Printf("\ncycle profile (top %d):\n%s", o.profTop, cprof.Report(o.profTop))
+	}
+	if cprof != nil && o.folded != "" {
+		if err := writeOut(o.folded, []byte(cprof.Folded())); err != nil {
+			return err
+		}
+	}
 	if errors.Is(runErr, kernel.ErrLivelock) || errors.Is(runErr, kernel.ErrBudget) {
 		// A livelocked or overrunning guest: name each thread's last PC and
 		// restart count so the offending sequence is identifiable.
@@ -253,6 +310,15 @@ func run(o options) error {
 		}
 	}
 	return runErr
+}
+
+// writeOut writes data to path, with "-" meaning stdout.
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // faultSchedule builds the injector for the -kill-at / -crash-at flags.

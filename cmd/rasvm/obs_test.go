@@ -1,0 +1,140 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestUnknownDemoListsAvailable(t *testing.T) {
+	o := demo("registration", "registered", 100)
+	o.demo = "frobnicate"
+	err := run(o)
+	if err == nil {
+		t.Fatal("unknown demo accepted")
+	}
+	// The satellite contract: the error names every available demo so the
+	// CLI (which exits nonzero on error) is self-documenting.
+	for _, want := range demos {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list demo %q", err, want)
+		}
+	}
+}
+
+func TestTraceOutRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+
+	// Quantum 53 preempts inside the registered sequence: restarts and
+	// preemptions are guaranteed nonzero.
+	o := demo("registration", "registered", 53)
+	o.iters = 60
+	o.traceOut = tracePath
+	o.metrics = metricsPath
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := obs.DecodeChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.ValidateChrome(doc); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	md, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, counter := range []string{"restarts_total", "preemptions_total", "dispatches_total"} {
+		val, ok := metricValue(string(md), counter)
+		if !ok {
+			t.Errorf("metrics dump missing %s:\n%s", counter, md)
+			continue
+		}
+		if val == 0 {
+			t.Errorf("%s = 0, want nonzero on the quantum-53 workload", counter)
+		}
+	}
+}
+
+// A -kill-at injection must survive the export as an instant on the chaos
+// track.
+func TestTraceOutRecordsChaosInjection(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	o := demo("registration", "registered", 300)
+	o.demo = "recoverable"
+	o.workers, o.iters = 3, 40
+	o.killAt = "1500"
+	o.traceOut = tracePath
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := obs.DecodeChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos, err := obs.ValidateChrome(doc)
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if chaos < 1 {
+		t.Errorf("chaos instants = %d, want >= 1 for -kill-at", chaos)
+	}
+}
+
+func TestFoldedProfileOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prof.folded")
+	o := demo("registration", "registered", 500)
+	o.folded = path
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, ";") {
+		t.Errorf("folded profile has no call stacks:\n%s", s)
+	}
+	if !strings.Contains(s, "[kernel]") {
+		t.Errorf("folded profile missing kernel attribution:\n%s", s)
+	}
+}
+
+// metricValue extracts a counter's value from a Registry dump line of the
+// form "name                value  # help".
+func metricValue(dump, name string) (uint64, bool) {
+	for _, line := range strings.Split(dump, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[0] == name {
+			var v uint64
+			for _, c := range fields[1] {
+				if c < '0' || c > '9' {
+					return 0, false
+				}
+				v = v*10 + uint64(c-'0')
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}

@@ -38,7 +38,10 @@ func runGuest(prof *arch.Profile, strat kernel.Strategy, checkAt kernel.CheckTim
 	})
 	k.Load(prog)
 	k.Spawn(prog.MustSymbol("main"), guest.StackTop(0))
-	if err := k.Run(); err != nil {
+	attachKernel(k)
+	err := k.Run()
+	noteKernelRun(k)
+	if err != nil {
 		return k, fmt.Errorf("bench: %s: %w", prof.Name, err)
 	}
 	return k, nil
@@ -179,7 +182,10 @@ func table2Bench(name string, mech core.Mechanism, iters int) (float64, error) {
 	default:
 		return 0, fmt.Errorf("bench: unknown table 2 benchmark %q", name)
 	}
-	if err := proc.Run(); err != nil {
+	attachProc(proc)
+	err := proc.Run()
+	noteProcRun(proc)
+	if err != nil {
 		return 0, err
 	}
 	return prof.Micros(end-start) / float64(iters), nil
@@ -312,7 +318,10 @@ func TableLamport(iters int) ([]LamportRow, error) {
 			}
 			end = e.Now()
 		})
-		if err := proc.Run(); err != nil {
+		attachProc(proc)
+		err := proc.Run()
+		noteProcRun(proc)
+		if err != nil {
 			return 0, err
 		}
 		return prof.Micros(end-start) / float64(iters), nil

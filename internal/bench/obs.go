@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"repro/internal/obs"
+	"repro/internal/uniproc"
+	"repro/internal/vmach/kernel"
+)
+
+// Observability plumbing for the harness. A table regenerates the paper's
+// numbers by running many fresh substrate instances, each starting its
+// virtual clock at zero with thread IDs from zero; exporting those runs
+// into one trace requires rebasing every run onto a single monotone
+// timeline. SetTraceSink installs the destination once, and each run the
+// harness starts is advanced onto fresh time and thread ranges.
+
+var (
+	traceSink *obs.Rebase
+	collect   *RunStats
+)
+
+// SetTraceSink routes the trace events of every subsequent harness run
+// into s (nil disables tracing). Runs are rebased end-to-end so the merged
+// stream keeps per-thread timestamps monotone.
+func SetTraceSink(s obs.Sink) {
+	if s == nil {
+		traceSink = nil
+		return
+	}
+	traceSink = obs.NewRebase(s)
+}
+
+// CollectStats accumulates every subsequent run's substrate counters into
+// rs (nil disables collection). Callers bracket a table with it to get the
+// cycle/restart/trap totals behind the table's microseconds.
+func CollectStats(rs *RunStats) { collect = rs }
+
+// RunStats aggregates substrate counters across the runs behind one table.
+type RunStats struct {
+	Runs        int    `json:"runs"`
+	Cycles      uint64 `json:"cycles"`
+	Restarts    uint64 `json:"restarts"`
+	Preemptions uint64 `json:"preemptions"`
+	EmulTraps   uint64 `json:"emul_traps"`
+}
+
+// attachKernel installs the harness trace sink (if any) on a fresh kernel,
+// starting a new rebased segment.
+func attachKernel(k *kernel.Kernel) {
+	if traceSink != nil {
+		traceSink.Advance()
+		k.Tracer = traceSink
+	}
+}
+
+// noteKernelRun folds a finished kernel run into the collector.
+func noteKernelRun(k *kernel.Kernel) {
+	if collect == nil {
+		return
+	}
+	collect.Runs++
+	collect.Cycles += k.M.Stats.Cycles
+	collect.Restarts += k.Stats.Restarts
+	collect.Preemptions += k.Stats.Preemptions
+	collect.EmulTraps += k.Stats.EmulTraps
+}
+
+// attachProc installs the harness trace sink (if any) on a fresh
+// uniprocessor, starting a new rebased segment.
+func attachProc(p *uniproc.Processor) {
+	if traceSink != nil {
+		traceSink.Advance()
+		p.Tracer = traceSink
+	}
+}
+
+// noteProcRun folds a finished uniprocessor run into the collector. The
+// runtime layer has no timer/suspension split, so every involuntary
+// suspension counts as a preemption.
+func noteProcRun(p *uniproc.Processor) {
+	if collect == nil {
+		return
+	}
+	collect.Runs++
+	collect.Cycles += p.Clock()
+	collect.Restarts += p.Stats.Restarts
+	collect.Preemptions += p.Stats.Suspensions
+	collect.EmulTraps += p.Stats.EmulTraps
+}

@@ -81,7 +81,10 @@ func runApp(s Scale, mech core.Mechanism, needServer bool,
 			srv.Shutdown(e)
 		}
 	})
-	if err := proc.Run(); err != nil {
+	attachProc(proc)
+	err := proc.Run()
+	noteProcRun(proc)
+	if err != nil {
 		return AppStats{}, err
 	}
 	if appErr != nil {

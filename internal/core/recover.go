@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/uniproc"
 )
 
@@ -50,6 +51,14 @@ func rmEpoch(v Word) Word { return v >> rmEpochShift }
 type RecoverableMutex struct {
 	word    Word
 	Checker *RMEChecker // optional invariant audit
+
+	// Passage, when non-nil, observes the RMR-style passage cost of every
+	// completed acquire→release span: virtual cycles from entering Acquire
+	// (or a TryAcquire that eventually succeeds) to finishing Release.
+	// Aborted TryAcquire attempts are not passages and are not recorded.
+	Passage *obs.Histogram
+
+	passageStart map[int]uint64 // thread ID -> cycle Acquire was entered
 }
 
 // NewRecoverableMutex returns an unlocked recoverable mutex.
@@ -146,6 +155,7 @@ func (m *RecoverableMutex) step(e *uniproc.Env, me Word, bound uint64) (acquired
 // Acquire implements Locker: spin (yielding, as on any uniprocessor) until
 // the lock is free or its owner has died and the repair CAS succeeds.
 func (m *RecoverableMutex) Acquire(e *uniproc.Env) {
+	m.passageBegin(e)
 	me := m.self(e)
 	for {
 		acquired, busy := m.step(e, me, 0)
@@ -170,6 +180,7 @@ func (m *RecoverableMutex) TryAcquire(e *uniproc.Env, attempts uint64, casBound 
 	if casBound == 0 {
 		casBound = 8
 	}
+	m.passageBegin(e)
 	me := m.self(e)
 	for i := uint64(0); i < attempts; i++ {
 		acquired, busy := m.step(e, me, casBound)
@@ -181,6 +192,7 @@ func (m *RecoverableMutex) TryAcquire(e *uniproc.Env, attempts uint64, casBound 
 			e.Yield()
 		}
 	}
+	m.passageAbort(e) // an abandoned attempt is not a passage
 	return false
 }
 
@@ -194,6 +206,40 @@ func (m *RecoverableMutex) Release(e *uniproc.Env) {
 	}
 	m.noteRelease(e)
 	e.Store(&m.word, v&^rmOwnerMask)
+	m.passageEnd(e)
+}
+
+// passageBegin stamps the start of a passage for the calling thread.
+func (m *RecoverableMutex) passageBegin(e *uniproc.Env) {
+	if m.Passage == nil {
+		return
+	}
+	if m.passageStart == nil {
+		m.passageStart = make(map[int]uint64)
+	}
+	if _, open := m.passageStart[e.Self().ID]; !open {
+		m.passageStart[e.Self().ID] = e.Now()
+	}
+	// A start already open means a TryAcquire failed and was retried by the
+	// caller: the passage spans from the first attempt.
+}
+
+// passageAbort forgets a failed attempt's start stamp.
+func (m *RecoverableMutex) passageAbort(e *uniproc.Env) {
+	if m.Passage != nil {
+		delete(m.passageStart, e.Self().ID)
+	}
+}
+
+// passageEnd observes a completed acquire→release span.
+func (m *RecoverableMutex) passageEnd(e *uniproc.Env) {
+	if m.Passage == nil {
+		return
+	}
+	if start, ok := m.passageStart[e.Self().ID]; ok {
+		delete(m.passageStart, e.Self().ID)
+		m.Passage.Observe(e.Now() - start)
+	}
 }
 
 func (m *RecoverableMutex) noteAcquire(e *uniproc.Env, stolenFrom int) {

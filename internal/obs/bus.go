@@ -1,0 +1,91 @@
+package obs
+
+// Bus is the event bus: a bounded ring (the always-on tail for post-mortem
+// rendering) plus any number of attached sinks (metrics, captures).
+// A Bus satisfies both substrates' Tracer interfaces,
+// so `k.Tracer = bus` / `proc.Tracer = bus` is the entire adapter.
+type Bus struct {
+	ring  *Ring
+	sinks []Sink
+}
+
+// NewBus creates a bus whose ring retains the last capacity events
+// (capacity <= 0 selects 4096).
+func NewBus(capacity int) *Bus {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &Bus{ring: NewRing(capacity)}
+}
+
+// Attach subscribes a sink to every future event. Nil sinks are ignored.
+func (b *Bus) Attach(s Sink) {
+	if s != nil {
+		b.sinks = append(b.sinks, s)
+	}
+}
+
+// Event implements Sink: the ring retains the event, then every attached
+// sink sees it, in attachment order.
+func (b *Bus) Event(ev Event) {
+	b.ring.Event(ev)
+	for _, s := range b.sinks {
+		s.Event(ev)
+	}
+}
+
+// Ring exposes the bus's retained tail.
+func (b *Bus) Ring() *Ring { return b.ring }
+
+// Events returns the ring's retained events in chronological order.
+func (b *Bus) Events() []Event { return b.ring.Events() }
+
+// Total reports how many events the bus has published in all.
+func (b *Bus) Total() uint64 { return b.ring.Total() }
+
+// String renders the retained tail, one event per line.
+func (b *Bus) String() string { return b.ring.String() }
+
+// Rebase adapts a sink for multi-run harnesses. Every substrate run starts
+// its virtual clock at cycle 0 and its thread IDs at 0; publishing several
+// runs into one sink verbatim would interleave timestamps backwards and
+// collapse unrelated threads onto one track. Rebase shifts each run onto a
+// single monotone timeline: Advance() (called between runs) moves the
+// cycle origin past everything seen so far and renumbers the next run's
+// threads into a fresh ID range.
+type Rebase struct {
+	sink       Sink
+	offset     uint64 // added to every cycle
+	maxCycle   uint64 // highest rebased cycle seen
+	threadBase int    // added to every thread ID
+	maxThread  int    // highest rebased thread ID seen
+}
+
+// NewRebase wraps sink; the first run publishes unshifted.
+func NewRebase(sink Sink) *Rebase { return &Rebase{sink: sink} }
+
+// Advance starts a new run: subsequent events land after every event
+// already published, on fresh thread tracks.
+func (r *Rebase) Advance() {
+	r.offset = r.maxCycle
+	r.threadBase = r.maxThread + 1
+}
+
+// Event implements Sink.
+func (r *Rebase) Event(ev Event) {
+	ev.Cycle += r.offset
+	ev.Thread += r.threadBase
+	if ev.Cycle > r.maxCycle {
+		r.maxCycle = ev.Cycle
+	}
+	if ev.Thread > r.maxThread {
+		r.maxThread = ev.Thread
+	}
+	// Thread-ID arguments (fork/unblock/repair targets) live in the same
+	// ID space as Thread and must be renumbered with it.
+	switch ev.Type {
+	case KindFork, KindUnblock, KindRepair:
+		ev.Arg += uint64(r.threadBase)
+	}
+	r.sink.Event(ev)
+}

@@ -1,0 +1,93 @@
+package obs
+
+import "testing"
+
+func TestBusFanOut(t *testing.T) {
+	bus := NewBus(2)
+	c1, c2 := &Capture{}, &Capture{}
+	bus.Attach(c1)
+	bus.Attach(c2)
+	bus.Attach(nil) // ignored
+	for i := 0; i < 5; i++ {
+		bus.Event(ev(i))
+	}
+	if c1.Len() != 5 || c2.Len() != 5 {
+		t.Errorf("sinks saw %d/%d events, want 5/5", c1.Len(), c2.Len())
+	}
+	// The bus ring is bounded independently of the sinks.
+	if got := len(bus.Events()); got != 2 {
+		t.Errorf("bus ring retained %d, want 2", got)
+	}
+	if bus.Total() != 5 {
+		t.Errorf("bus total = %d, want 5", bus.Total())
+	}
+}
+
+func TestBusDefaultCapacity(t *testing.T) {
+	bus := NewBus(0)
+	for i := 0; i < 5000; i++ {
+		bus.Event(ev(i))
+	}
+	if got := len(bus.Events()); got != 4096 {
+		t.Errorf("default ring retained %d, want 4096", got)
+	}
+}
+
+func TestRebaseMonotoneAcrossRuns(t *testing.T) {
+	c := &Capture{}
+	r := NewRebase(c)
+
+	// Run 1: two threads, cycles 0..300.
+	r.Event(Event{Cycle: 0, Type: KindDispatch, Thread: 0})
+	r.Event(Event{Cycle: 300, Type: KindExit, Thread: 1})
+	r.Advance()
+	// Run 2: fresh clock and thread IDs starting at zero again.
+	r.Event(Event{Cycle: 0, Type: KindDispatch, Thread: 0})
+	r.Event(Event{Cycle: 50, Type: KindFork, Thread: 0, Arg: 1})
+	r.Event(Event{Cycle: 120, Type: KindExit, Thread: 1})
+
+	evs := c.Events()
+	if len(evs) != 5 {
+		t.Fatalf("captured %d events, want 5", len(evs))
+	}
+	var prev uint64
+	for i, e := range evs {
+		if e.Cycle < prev {
+			t.Fatalf("event %d: cycle %d < %d not monotone", i, e.Cycle, prev)
+		}
+		prev = e.Cycle
+	}
+	// Run 2 threads renumbered past run 1's max (1), so 0->2, 1->3.
+	if evs[2].Thread != 2 || evs[4].Thread != 3 {
+		t.Errorf("run 2 threads = %d,%d, want 2,3", evs[2].Thread, evs[4].Thread)
+	}
+	// Fork's Arg is a thread ID and must be remapped into the same range.
+	if evs[3].Type != KindFork || evs[3].Arg != 3 {
+		t.Errorf("fork arg = %d, want remapped 3", evs[3].Arg)
+	}
+	// Run 2 cycles shifted past run 1's horizon (300).
+	if evs[2].Cycle != 300 || evs[4].Cycle != 420 {
+		t.Errorf("run 2 cycles = %d,%d, want 300,420", evs[2].Cycle, evs[4].Cycle)
+	}
+}
+
+func TestRebasedStreamExportsValidChrome(t *testing.T) {
+	// The whole point of Rebase: two runs through one capture still render
+	// into a structurally valid Chrome trace.
+	c := &Capture{}
+	r := NewRebase(c)
+	for run := 0; run < 3; run++ {
+		r.Event(Event{Cycle: 0, Type: KindDispatch, Thread: 0})
+		r.Event(Event{Cycle: 10, Type: KindInject, Thread: 0, Arg: 1})
+		r.Event(Event{Cycle: 90, Type: KindExit, Thread: 0})
+		r.Advance()
+	}
+	doc := ChromeTraceDoc(c.Events())
+	chaos, err := ValidateChrome(doc)
+	if err != nil {
+		t.Fatalf("rebased trace invalid: %v", err)
+	}
+	if chaos != 3 {
+		t.Errorf("chaos instants = %d, want 3", chaos)
+	}
+}

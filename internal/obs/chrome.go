@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ChaosTID is the synthetic track carrying chaos-injection instant events
+// in exported Chrome traces, far above any real thread ID.
+const ChaosTID = 1000000
+
+// ChromeEvent is one entry of the Chrome trace-event format (the JSON
+// array format Perfetto and chrome://tracing load). Virtual cycles map
+// 1:1 onto the format's microsecond timestamps.
+type ChromeEvent struct {
+	Name  string                 `json:"name"`
+	Phase string                 `json:"ph"`
+	TS    uint64                 `json:"ts"`
+	PID   int                    `json:"pid"`
+	TID   int                    `json:"tid"`
+	Scope string                 `json:"s,omitempty"`
+	Args  map[string]interface{} `json:"args,omitempty"`
+}
+
+// ChromeDoc is the JSON-object container variant of the format.
+type ChromeDoc struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// suspends reports whether an event ends its thread's running slice.
+func suspends(k Kind) bool {
+	switch k {
+	case KindPreempt, KindYield, KindBlock, KindExit, KindFault, KindKill, KindCrash:
+		return true
+	}
+	return false
+}
+
+// ChromeTraceDoc converts a chronological event stream into a Chrome
+// trace document: one track per thread whose "running" slices are bounded
+// by dispatch and suspension events, instant events for everything else
+// on the owning thread's track, and every chaos injection mirrored as an
+// instant on the dedicated ChaosTID track.
+func ChromeTraceDoc(events []Event) *ChromeDoc {
+	doc := &ChromeDoc{DisplayTimeUnit: "ns", TraceEvents: []ChromeEvent{}}
+	open := map[int]bool{}  // tid -> has an open "running" slice
+	named := map[int]bool{} // tid -> thread_name metadata emitted
+	var last uint64
+
+	name := func(tid int) {
+		if named[tid] {
+			return
+		}
+		named[tid] = true
+		label := fmt.Sprintf("t%d", tid)
+		if tid == ChaosTID {
+			label = "chaos"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+			Args: map[string]interface{}{"name": label},
+		})
+	}
+
+	for _, ev := range events {
+		if ev.Cycle > last {
+			last = ev.Cycle
+		}
+		name(ev.Thread)
+		switch {
+		case ev.Type == KindDispatch:
+			if open[ev.Thread] { // defensive: never emit unbalanced B
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: "running", Phase: "E", TS: ev.Cycle, PID: 0, TID: ev.Thread,
+				})
+			}
+			open[ev.Thread] = true
+			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+				Name: "running", Phase: "B", TS: ev.Cycle, PID: 0, TID: ev.Thread,
+			})
+		case suspends(ev.Type):
+			args := map[string]interface{}{"arg": ev.Arg}
+			if ev.PC != 0 {
+				args["pc"] = fmt.Sprintf("%#08x", ev.PC)
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+				Name: ev.Type.String(), Phase: "i", TS: ev.Cycle, PID: 0,
+				TID: ev.Thread, Scope: "t", Args: args,
+			})
+			if open[ev.Thread] {
+				open[ev.Thread] = false
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: "running", Phase: "E", TS: ev.Cycle, PID: 0, TID: ev.Thread,
+				})
+			}
+		default:
+			args := map[string]interface{}{"arg": ev.Arg}
+			if ev.PC != 0 {
+				args["pc"] = fmt.Sprintf("%#08x", ev.PC)
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+				Name: ev.Type.String(), Phase: "i", TS: ev.Cycle, PID: 0,
+				TID: ev.Thread, Scope: "t", Args: args,
+			})
+		}
+		if ev.Type == KindInject {
+			name(ChaosTID)
+			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+				Name: "inject", Phase: "i", TS: ev.Cycle, PID: 0, TID: ChaosTID,
+				Scope: "t",
+				Args: map[string]interface{}{
+					"action": fmt.Sprintf("%#x", ev.Arg),
+					"thread": ev.Thread,
+				},
+			})
+		}
+	}
+	// Close slices still open when the stream ends (run cut short by a
+	// crash or the event horizon), keeping every track's B/E balanced.
+	for tid, isOpen := range open {
+		if isOpen {
+			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+				Name: "running", Phase: "E", TS: last, PID: 0, TID: tid,
+			})
+		}
+	}
+	return doc
+}
+
+// ChromeTrace renders the event stream as Chrome trace-event JSON.
+func ChromeTrace(events []Event) ([]byte, error) {
+	return json.MarshalIndent(ChromeTraceDoc(events), "", " ")
+}
+
+// DecodeChromeTrace parses Chrome trace-event JSON produced by ChromeTrace
+// (or any tool emitting the object container format).
+func DecodeChromeTrace(data []byte) (*ChromeDoc, error) {
+	var doc ChromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("chrome trace: %w", err)
+	}
+	return &doc, nil
+}
+
+// ValidateChrome checks the structural invariants the exporter promises:
+// timestamps are monotone non-decreasing per track (metadata events have
+// no timestamp and are exempt), and every "B" slice open is matched by an
+// "E" close on the same track. It returns the number of instant events on
+// the chaos track, so callers can assert injections survived the round
+// trip.
+func ValidateChrome(doc *ChromeDoc) (chaosInstants int, err error) {
+	lastTS := map[int]uint64{}
+	depth := map[int]int{}
+	for i, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			continue
+		case "B":
+			depth[ev.TID]++
+		case "E":
+			depth[ev.TID]--
+			if depth[ev.TID] < 0 {
+				return 0, fmt.Errorf("event %d: slice end without begin on tid %d", i, ev.TID)
+			}
+		case "i", "I":
+			if ev.TID == ChaosTID {
+				chaosInstants++
+			}
+		default:
+			return 0, fmt.Errorf("event %d: unknown phase %q", i, ev.Phase)
+		}
+		if prev, ok := lastTS[ev.TID]; ok && ev.TS < prev {
+			return 0, fmt.Errorf("event %d: timestamp %d < %d goes backwards on tid %d",
+				i, ev.TS, prev, ev.TID)
+		}
+		lastTS[ev.TID] = ev.TS
+	}
+	for tid, d := range depth {
+		if d != 0 {
+			return 0, fmt.Errorf("tid %d: %d unclosed slice(s)", tid, d)
+		}
+	}
+	return chaosInstants, nil
+}

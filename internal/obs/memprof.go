@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// MemOp classifies a memory operation on the uniprocessor runtime, whose
+// guests are Go functions: there is no guest PC to attribute cycles to, so
+// attribution is per Go callsite instead.
+type MemOp int
+
+const (
+	MemLoad   MemOp = iota // Env.Load
+	MemStore               // Env.Store
+	MemCommit              // Env.Commit (the RAS/atomic commit point)
+)
+
+func (op MemOp) String() string {
+	switch op {
+	case MemLoad:
+		return "load"
+	case MemStore:
+		return "store"
+	case MemCommit:
+		return "commit"
+	}
+	return "?"
+}
+
+// MemProfiler attributes uniprocessor memory-op counts and cycle charges
+// to the Go call stacks that issued them. Stacks are captured as raw PCs
+// on the hot path (interned by PC-string key, no symbolization) and
+// resolved only when a report is rendered.
+type MemProfiler struct {
+	sites map[string]*memSite
+	ops   [3]uint64
+	total uint64 // cycles across all ops
+}
+
+type memSite struct {
+	pcs    []uintptr
+	ops    [3]uint64
+	cycles uint64
+}
+
+// NewMemProfiler creates an empty profiler.
+func NewMemProfiler() *MemProfiler {
+	return &MemProfiler{sites: make(map[string]*memSite)}
+}
+
+// Note records one memory op costing the given cycles, attributed to the
+// caller's caller (i.e. whoever invoked the Env method that calls Note).
+func (m *MemProfiler) Note(op MemOp, cycles uint64) {
+	m.NoteSkip(op, cycles, 3) // runtime.Callers, NoteSkip, Note, Env method -> its caller
+}
+
+// NoteSkip is Note with an explicit runtime.Callers skip count, for hooks
+// at other depths.
+func (m *MemProfiler) NoteSkip(op MemOp, cycles uint64, skip int) {
+	var pcs [16]uintptr
+	n := runtime.Callers(skip, pcs[:])
+	key := string(pcKey(pcs[:n]))
+	site := m.sites[key]
+	if site == nil {
+		site = &memSite{pcs: append([]uintptr{}, pcs[:n]...)}
+		m.sites[key] = site
+	}
+	site.ops[op]++
+	site.cycles += cycles
+	m.ops[op]++
+	m.total += cycles
+}
+
+func pcKey(pcs []uintptr) []byte {
+	b := make([]byte, 0, len(pcs)*8)
+	for _, pc := range pcs {
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(pc>>s))
+		}
+	}
+	return b
+}
+
+// OpCount returns how many operations of the given kind were noted.
+func (m *MemProfiler) OpCount(op MemOp) uint64 { return m.ops[op] }
+
+// Cycles returns the total cycles noted across all ops.
+func (m *MemProfiler) Cycles() uint64 { return m.total }
+
+// frames resolves a site's PCs to symbolic frames, innermost first,
+// dropping runtime plumbing and the uniproc substrate's own internals so
+// reports show guest code.
+func frames(pcs []uintptr) []string {
+	out := []string{}
+	fr := runtime.CallersFrames(pcs)
+	for {
+		f, more := fr.Next()
+		name := f.Function
+		if name != "" &&
+			!strings.HasPrefix(name, "runtime.") &&
+			!strings.Contains(name, "internal/uniproc.") {
+			out = append(out, strings.TrimPrefix(name, "repro/"))
+		}
+		if !more {
+			break
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, "[unknown]")
+	}
+	return out
+}
+
+// Folded renders the profile in folded-stack format, cycles as the weight:
+// "outer;inner cycles" per distinct callsite stack, sorted.
+func (m *MemProfiler) Folded() string {
+	agg := make(map[string]uint64)
+	for _, site := range m.sites {
+		fs := frames(site.pcs)
+		// folded format wants root first
+		rev := make([]string, len(fs))
+		for i, f := range fs {
+			rev[len(fs)-1-i] = f
+		}
+		agg[strings.Join(rev, ";")] += site.cycles
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, agg[k])
+	}
+	return b.String()
+}
+
+// Report renders a top-N table of callsites by cycles, with per-op counts.
+func (m *MemProfiler) Report(top int) string {
+	type row struct {
+		leaf   string
+		ops    [3]uint64
+		cycles uint64
+	}
+	agg := make(map[string]*row)
+	for _, site := range m.sites {
+		leaf := frames(site.pcs)[0]
+		r := agg[leaf]
+		if r == nil {
+			r = &row{leaf: leaf}
+			agg[leaf] = r
+		}
+		for i := range site.ops {
+			r.ops[i] += site.ops[i]
+		}
+		r.cycles += site.cycles
+	}
+	rows := make([]*row, 0, len(agg))
+	for _, r := range agg {
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cycles != rows[j].cycles {
+			return rows[i].cycles > rows[j].cycles
+		}
+		return rows[i].leaf < rows[j].leaf
+	})
+	if top > 0 && len(rows) > top {
+		rows = rows[:top]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %10s %10s %10s  %s\n", "cycles", "loads", "stores", "commits", "callsite")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%12d %10d %10d %10d  %s\n",
+			r.cycles, r.ops[MemLoad], r.ops[MemStore], r.ops[MemCommit], r.leaf)
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Counter is a monotone event count.
+type Counter struct {
+	name, help string
+	v          uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	name, help string
+	v          int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v = v }
+
+// Add moves the gauge by delta (possibly negative).
+func (g *Gauge) Add(delta int64) { g.v += delta }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v }
+
+// Histogram is a fixed-bucket histogram of uint64 observations. Bounds are
+// inclusive upper bucket edges; one implicit overflow bucket catches the
+// rest.
+type Histogram struct {
+	name, help string
+	bounds     []uint64
+	counts     []uint64 // len(bounds)+1
+	count, sum uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the mean observation, or 0 before the first.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Buckets returns (upper-bound, cumulative-count) pairs, the overflow
+// bucket last with bound ^uint64(0).
+func (h *Histogram) Buckets() ([]uint64, []uint64) {
+	bounds := append(append([]uint64{}, h.bounds...), ^uint64(0))
+	cum := make([]uint64, len(h.counts))
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		cum[i] = run
+	}
+	return bounds, cum
+}
+
+// ExpBuckets returns n exponentially spaced bounds starting at first and
+// doubling — the usual shape for cycle costs.
+func ExpBuckets(first uint64, n int) []uint64 {
+	if first == 0 {
+		first = 1
+	}
+	out := make([]uint64, 0, n)
+	for b := first; len(out) < n; b *= 2 {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Registry holds named metrics. Lookups are get-or-create, so independent
+// subsystems can share one registry without coordination. The simulated
+// world is single-threaded by construction, so no locking is needed.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, help: help}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, help: help}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use with the
+// given bucket bounds (ignored if it already exists).
+func (r *Registry) Histogram(name, help string, bounds []uint64) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	h := &Histogram{name: name, help: help,
+		bounds: append([]uint64{}, bounds...),
+		counts: make([]uint64, len(bounds)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// CounterValue returns the named counter's value (0 if absent) — the
+// assertion hook tests use to compare against substrate Stats.
+func (r *Registry) CounterValue(name string) uint64 {
+	if c, ok := r.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
+
+// Dump renders every metric as plain text, sorted by name: one
+// `name value  # help` line per counter and gauge, and a block per
+// histogram with count, sum, mean and cumulative buckets.
+func (r *Registry) Dump() string {
+	var b strings.Builder
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		c := r.counters[n]
+		fmt.Fprintf(&b, "%-34s %12d  # %s\n", n, c.v, c.help)
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		g := r.gauges[n]
+		fmt.Fprintf(&b, "%-34s %12d  # %s\n", n, g.v, g.help)
+	}
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.hists[n]
+		fmt.Fprintf(&b, "%s: count=%d sum=%d mean=%.1f  # %s\n", n, h.count, h.sum, h.Mean(), h.help)
+		bounds, cum := h.Buckets()
+		for i, bd := range bounds {
+			if cum[i] == 0 && i > 0 && cum[i] == cum[i-1] {
+				continue // skip empty leading detail; cumulative shape is preserved
+			}
+			if bd == ^uint64(0) {
+				fmt.Fprintf(&b, "  le=+inf %12d\n", cum[i])
+			} else {
+				fmt.Fprintf(&b, "  le=%-6d %12d\n", bd, cum[i])
+			}
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "x")
+	c2 := r.Counter("x_total", "ignored")
+	if c1 != c2 {
+		t.Error("counter not shared by name")
+	}
+	c1.Inc()
+	c1.Add(4)
+	if r.CounterValue("x_total") != 5 {
+		t.Errorf("counter = %d, want 5", r.CounterValue("x_total"))
+	}
+	if r.CounterValue("absent_total") != 0 {
+		t.Error("absent counter should read 0")
+	}
+	g := r.Gauge("g", "g")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "h", []uint64{10, 100})
+	for _, v := range []uint64{1, 5, 50, 500, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 5556 {
+		t.Errorf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || bounds[2] != ^uint64(0) {
+		t.Fatalf("bounds = %v", bounds)
+	}
+	// <=10: 2, <=100: 3 cumulative, overflow: 5 cumulative.
+	if cum[0] != 2 || cum[1] != 3 || cum[2] != 5 {
+		t.Errorf("cumulative = %v", cum)
+	}
+	if h.Mean() != 5556.0/5 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(16, 4)
+	want := []uint64{16, 32, 64, 128}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", b, want)
+		}
+	}
+	if got := ExpBuckets(0, 2); got[0] != 1 {
+		t.Errorf("zero first bound = %v", got)
+	}
+}
+
+func TestRegistryDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "second").Add(2)
+	r.Counter("a_total", "first").Inc()
+	r.Histogram("lat", "latency", []uint64{8}).Observe(3)
+	d := r.Dump()
+	if !strings.Contains(d, "a_total") || !strings.Contains(d, "b_total") || !strings.Contains(d, "lat:") {
+		t.Fatalf("dump missing entries:\n%s", d)
+	}
+	if strings.Index(d, "a_total") > strings.Index(d, "b_total") {
+		t.Error("dump not sorted by name")
+	}
+}
+
+func TestPaperMetricsDerivesFromEvents(t *testing.T) {
+	pm := NewPaperMetrics(nil)
+	events := []Event{
+		{Type: KindRestart},
+		{Type: KindRestart},
+		{Type: KindPreempt, Arg: 0},
+		{Type: KindPreempt, Arg: 1}, // spurious
+		{Type: KindEmulTrap},
+		{Type: KindRepair, Arg: 3},
+		{Type: KindDemote},
+		{Type: KindPromote},
+		{Type: KindWatchdog, Arg: 32},
+		{Type: KindKill},
+		{Type: KindCrash},
+		{Type: KindInject, Arg: 9},
+		{Type: KindSyscall},
+		{Type: KindPageFault},
+		{Type: KindDispatch},
+	}
+	for _, e := range events {
+		pm.Event(e)
+	}
+	checks := []struct {
+		c    *Counter
+		want uint64
+	}{
+		{pm.Restarts, 2}, {pm.Preemptions, 1}, {pm.Spurious, 1},
+		{pm.EmulTraps, 1}, {pm.Repairs, 1}, {pm.Demotions, 1},
+		{pm.Promotions, 1}, {pm.Watchdogs, 1}, {pm.Kills, 1},
+		{pm.Crashes, 1}, {pm.Injections, 1}, {pm.Syscalls, 1},
+		{pm.PageFaults, 1}, {pm.Dispatches, 1},
+	}
+	for _, ck := range checks {
+		if ck.c.Value() != ck.want {
+			t.Errorf("%s = %d, want %d", ck.c.Name(), ck.c.Value(), ck.want)
+		}
+	}
+	pm.Passage.Observe(40)
+	if !strings.Contains(pm.Dump(), "rme_passage_cycles: count=1") {
+		t.Error("passage histogram missing from dump")
+	}
+}

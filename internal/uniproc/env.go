@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 // Env is a green thread's handle to the virtual uniprocessor: all charged
@@ -103,7 +104,7 @@ func (e *Env) chaosMemOp() {
 		return
 	}
 	p.Stats.Injected++
-	p.trace(TraceInject, e.t, int(act.Bits()))
+	p.trace(TraceInject, e.t, act.Bits())
 	if act.Crash {
 		p.trace(TraceCrash, e.t, 0)
 		if p.runErr == nil {
@@ -134,10 +135,20 @@ func (e *Env) killSelf() {
 	panic(killSignal{})
 }
 
+// profMem attributes one memory op to the Env method's caller. It runs
+// before chaosMemOp so the op is profiled even when the injector then
+// kills or crashes the thread: the op itself did complete.
+func (e *Env) profMem(op obs.MemOp, cycles int) {
+	if e.p.memProf != nil {
+		e.p.memProf.Note(op, uint64(cycles))
+	}
+}
+
 // Load reads a shared word, charging one load.
 func (e *Env) Load(w *Word) Word {
 	v := *w
 	e.charge(e.p.profile.LoadCycles)
+	e.profMem(obs.MemLoad, e.p.profile.LoadCycles)
 	e.chaosMemOp()
 	return v
 }
@@ -148,6 +159,7 @@ func (e *Env) Load(w *Word) Word {
 func (e *Env) Store(w *Word, v Word) {
 	*w = v
 	e.charge(e.p.profile.StoreCycles)
+	e.profMem(obs.MemStore, e.p.profile.StoreCycles)
 	e.chaosMemOp()
 }
 
@@ -180,7 +192,7 @@ func (e *Env) Restartable(seq func()) {
 			continue
 		}
 		p := e.p
-		p.trace(TraceWatchdog, e.t, int(restarts))
+		p.trace(TraceWatchdog, e.t, uint64(restarts))
 		if w.Policy == chaos.WatchdogExtend && !extended {
 			// Grant one extended slice right now — the thread holds the
 			// baton, so stretching sliceEnd is exactly an extended quantum.
@@ -254,6 +266,7 @@ func (e *Env) Commit(w *Word, v Word) {
 	*w = v
 	e.inRAS = false // the sequence has committed; no rollback past this point
 	e.charge(e.p.profile.StoreCycles)
+	e.profMem(obs.MemCommit, e.p.profile.StoreCycles)
 	e.chaosMemOp()
 }
 
@@ -286,7 +299,10 @@ func (e *Env) Trap(extra int, f func()) {
 
 // CountEmulTrap records one kernel-emulated atomic operation (the paper's
 // "Emulation Traps" column).
-func (e *Env) CountEmulTrap() { e.p.Stats.EmulTraps++ }
+func (e *Env) CountEmulTrap() {
+	e.p.Stats.EmulTraps++
+	e.p.trace(TraceEmulTrap, e.t, 0)
+}
 
 // CountDemotion records that an adaptive mechanism permanently demoted a
 // pathological restartable sequence to kernel emulation (core.Degrading).
@@ -307,7 +323,7 @@ func (e *Env) CountPromotion() {
 // thread ID.
 func (e *Env) CountRepair(dead int) {
 	e.p.Stats.Repairs++
-	e.p.trace(TraceRepair, e.t, dead)
+	e.p.trace(TraceRepair, e.t, uint64(dead))
 }
 
 // ThreadDead reports whether thread id will never run again. This is the
@@ -380,7 +396,7 @@ func (e *Env) Unblock(t *Thread) {
 		panic(fmt.Sprintf("uniproc: Unblock of finished %v", t))
 	}
 	e.ChargeALU(4) // wakeup bookkeeping
-	e.p.trace(TraceUnblock, e.t, t.ID)
+	e.p.trace(TraceUnblock, e.t, uint64(t.ID))
 	if !t.blocked {
 		t.wakePending = true
 		return

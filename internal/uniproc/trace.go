@@ -1,149 +1,56 @@
 package uniproc
 
-import (
-	"fmt"
-	"strings"
-)
+import "repro/internal/obs"
 
-// TraceType classifies runtime trace events.
-type TraceType int
+// The runtime's trace plumbing is rebased on the shared observability
+// core (internal/obs): the former private enum, event struct, tracer
+// interface and ring buffer are now aliases of the obs equivalents, so
+// one obs.Bus (or Ring, Capture, PaperMetrics) can be installed as the
+// processor's Tracer while existing callers and tests keep compiling
+// unchanged. The shared Kind ordering starts with this runtime's original
+// numbering, so range-style iteration over TraceDispatch..TraceExit still
+// covers exactly the original nine kinds.
 
+// TraceType is an alias of the shared event kind.
+type TraceType = obs.Kind
+
+// The runtime's historical names for the kinds it emits.
 const (
-	TraceDispatch TraceType = iota
-	TracePreempt
-	TraceRestart
-	TraceYield
-	TraceBlock
-	TraceUnblock
-	TraceTrap
-	TraceFork
-	TraceExit
-	TraceInject   // a chaos fault was applied (Arg = chaos.Action bits)
-	TraceWatchdog // the restart-livelock watchdog fired (Arg = restart count)
-	TraceDemote   // an adaptive mechanism demoted to emulation
-	TracePromote  // a demoted mechanism re-promoted to the fast path
-	TraceKill     // a thread was killed by fault injection
-	TraceCrash    // an injected machine crash aborted the run
-	TraceRepair   // an orphaned lock was repaired (Arg = dead owner's ID)
+	TraceDispatch = obs.KindDispatch
+	TracePreempt  = obs.KindPreempt
+	TraceRestart  = obs.KindRestart
+	TraceYield    = obs.KindYield
+	TraceBlock    = obs.KindBlock
+	TraceUnblock  = obs.KindUnblock // Arg = woken thread ID
+	TraceTrap     = obs.KindTrap
+	TraceFork     = obs.KindFork // Arg = new thread ID
+	TraceExit     = obs.KindExit
+	TraceInject   = obs.KindInject   // Arg = chaos.Action bits
+	TraceWatchdog = obs.KindWatchdog // Arg = restart count
+	TraceDemote   = obs.KindDemote
+	TracePromote  = obs.KindPromote
+	TraceKill     = obs.KindKill
+	TraceCrash    = obs.KindCrash
+	TraceRepair   = obs.KindRepair   // Arg = dead owner's ID
+	TraceEmulTrap = obs.KindEmulTrap // kernel-emulated atomic op
 )
 
-func (t TraceType) String() string {
-	switch t {
-	case TraceDispatch:
-		return "dispatch"
-	case TracePreempt:
-		return "preempt"
-	case TraceRestart:
-		return "restart"
-	case TraceYield:
-		return "yield"
-	case TraceBlock:
-		return "block"
-	case TraceUnblock:
-		return "unblock"
-	case TraceTrap:
-		return "trap"
-	case TraceFork:
-		return "fork"
-	case TraceExit:
-		return "exit"
-	case TraceInject:
-		return "inject"
-	case TraceWatchdog:
-		return "watchdog"
-	case TraceDemote:
-		return "demote"
-	case TracePromote:
-		return "promote"
-	case TraceKill:
-		return "kill"
-	case TraceCrash:
-		return "crash"
-	case TraceRepair:
-		return "repair"
-	}
-	return "?"
-}
+// TraceEvent is an alias of the shared event schema (PC stays zero on
+// this substrate, which has no program counter).
+type TraceEvent = obs.Event
 
-// TraceEvent is one runtime event. Arg carries the unblocked/forked thread
-// ID for TraceUnblock/TraceFork.
-type TraceEvent struct {
-	Cycle  uint64
-	Type   TraceType
-	Thread int
-	Arg    int
-}
+// Tracer receives runtime events; any obs.Sink qualifies. Nil on the
+// processor disables tracing.
+type Tracer = obs.Sink
 
-// String renders the event on one line.
-func (ev TraceEvent) String() string {
-	s := fmt.Sprintf("[%10d] t%-2d %s", ev.Cycle, ev.Thread, ev.Type)
-	switch ev.Type {
-	case TraceUnblock, TraceFork:
-		s += fmt.Sprintf(" -> t%d", ev.Arg)
-	case TraceInject:
-		s += fmt.Sprintf(" action=%#x", ev.Arg)
-	case TraceWatchdog:
-		s += fmt.Sprintf(" restarts=%d", ev.Arg)
-	case TraceRepair:
-		s += fmt.Sprintf(" dead=t%d", ev.Arg)
-	}
-	return s
-}
-
-// Tracer receives runtime events; nil on the processor disables tracing.
-type Tracer interface {
-	Event(TraceEvent)
-}
-
-// RingTracer retains the most recent events.
-type RingTracer struct {
-	buf   []TraceEvent
-	next  int
-	total uint64
-}
+// RingTracer is the shared bounded drop-oldest ring.
+type RingTracer = obs.Ring
 
 // NewRingTracer creates a tracer retaining the last n events.
-func NewRingTracer(n int) *RingTracer {
-	if n < 1 {
-		n = 1
-	}
-	return &RingTracer{buf: make([]TraceEvent, 0, n)}
-}
-
-// Event implements Tracer.
-func (r *RingTracer) Event(ev TraceEvent) {
-	r.total++
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, ev)
-		return
-	}
-	r.buf[r.next] = ev
-	r.next = (r.next + 1) % cap(r.buf)
-}
-
-// Total reports how many events were observed in all.
-func (r *RingTracer) Total() uint64 { return r.total }
-
-// Events returns retained events in chronological order.
-func (r *RingTracer) Events() []TraceEvent {
-	out := make([]TraceEvent, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
-	return out
-}
-
-// String renders the retained events one per line.
-func (r *RingTracer) String() string {
-	var b strings.Builder
-	for _, ev := range r.Events() {
-		b.WriteString(ev.String())
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
+func NewRingTracer(n int) *RingTracer { return obs.NewRing(n) }
 
 // trace emits an event when tracing is enabled.
-func (p *Processor) trace(ty TraceType, t *Thread, arg int) {
+func (p *Processor) trace(ty TraceType, t *Thread, arg uint64) {
 	if p.Tracer == nil {
 		return
 	}

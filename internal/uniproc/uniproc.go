@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 // Word is a machine word in simulated shared memory. All access from guest
@@ -103,7 +104,15 @@ type Processor struct {
 	// Tracer, when non-nil, receives runtime events (dispatches,
 	// preemptions, restarts, blocking).
 	Tracer Tracer
+
+	// memProf, when non-nil, attributes memory-op cycle charges to the Go
+	// callsites that issued them (this substrate's guests are Go
+	// functions, so there is no guest PC to profile).
+	memProf *obs.MemProfiler
 }
+
+// AttachMemProfiler installs a per-callsite memory-op profiler.
+func (p *Processor) AttachMemProfiler(m *obs.MemProfiler) { p.memProf = m }
 
 // Thread is the scheduler-visible identity of a green thread.
 type Thread struct {
@@ -181,7 +190,7 @@ func (p *Processor) Go(name string, fn func(*Env)) *Thread {
 	p.readyq = append(p.readyq, t)
 	p.live++
 	p.Stats.Forks++
-	p.trace(TraceFork, p.cur, t.ID)
+	p.trace(TraceFork, p.cur, uint64(t.ID))
 	go p.threadBody(t)
 	return t
 }
@@ -325,6 +334,7 @@ func (p *Processor) dispatch(t *Thread) {
 	if p.faults != nil {
 		if act := p.faults.At(chaos.PointDispatch, p.Stats.Switches); act.Jitter != 0 {
 			p.Stats.Injected++
+			p.trace(TraceInject, t, act.Bits())
 			nq := int64(q) + act.Jitter
 			if nq < 1 {
 				nq = 1

@@ -26,6 +26,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/chaos"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vmach"
 )
 
@@ -221,6 +222,12 @@ type Kernel struct {
 	// Tracer, when non-nil, receives kernel events (dispatches,
 	// preemptions, restarts, syscalls, faults).
 	Tracer Tracer
+
+	// Profiler, when non-nil, receives one sample per retired guest
+	// instruction and one note per kernel-time charge, attributing
+	// virtual cycles to guest PCs and symbols. Use AttachProfiler to
+	// install it with the program's symbol table.
+	Profiler *obs.CycleProfiler
 }
 
 // New creates a kernel and machine from cfg.
@@ -371,7 +378,16 @@ func (k *Kernel) stepOnce() (finished bool, err error) {
 		return true, ErrBudget
 	}
 
+	var profPC uint32
+	var profCyc uint64
+	if k.Profiler != nil {
+		profPC = k.cur.Ctx.PC
+		profCyc = k.M.Stats.Cycles
+	}
 	ev := k.M.Step(&k.cur.Ctx)
+	if k.Profiler != nil {
+		k.profileStep(profPC, k.M.Stats.Cycles-profCyc)
+	}
 	switch ev.Kind {
 	case vmach.EventNone:
 		// Timer: preempt at slice end unless the i860 lock bit defers
@@ -587,7 +603,43 @@ func (k *Kernel) Current() *Thread { return k.cur }
 func (k *Kernel) Steps() uint64 { return k.steps }
 
 // chargeKernel accounts kernel-path cycles on the global clock.
-func (k *Kernel) chargeKernel(cy uint64) { k.M.Stats.Cycles += cy }
+func (k *Kernel) chargeKernel(cy uint64) {
+	k.M.Stats.Cycles += cy
+	if k.Profiler != nil {
+		k.Profiler.NoteKernel(cy)
+	}
+}
+
+// AttachProfiler installs a cycle profiler seeded with the program's
+// symbol table, so samples resolve to guest symbols rather than raw PCs.
+func (k *Kernel) AttachProfiler(p *obs.CycleProfiler, prog *asm.Program) {
+	if prog != nil {
+		syms := make([]obs.Symbol, 0, len(prog.Symbols))
+		for name, addr := range prog.Symbols {
+			syms = append(syms, obs.Symbol{Name: name, Addr: addr})
+		}
+		p.SetSymbols(syms)
+	}
+	k.Profiler = p
+}
+
+// profileStep feeds one retired instruction to the profiler. The shadow
+// call stack needs to know whether the instruction transferred control
+// into or out of a frame, so the retired word is re-decoded from memory
+// (Peek ignores presence bits; the word was just fetched, so this reads
+// what executed).
+func (k *Kernel) profileStep(pc uint32, cycles uint64) {
+	inst := isa.Decode(k.M.Mem.Peek(pc))
+	kind := obs.SampleOp
+	switch {
+	case inst.Op == isa.OpJAL,
+		inst.Op == isa.OpSpecial && inst.Funct == isa.FnJALR:
+		kind = obs.SampleCall
+	case inst.Op == isa.OpSpecial && inst.Funct == isa.FnJR && inst.Rs == isa.RegRA:
+		kind = obs.SampleReturn
+	}
+	k.Profiler.Sample(k.cur.ID, pc, cycles, kind, k.cur.Ctx.PC)
+}
 
 // preempt suspends the running thread at a timer interrupt.
 func (k *Kernel) preempt() {
@@ -629,11 +681,13 @@ func (k *Kernel) suspend(t *Thread) {
 	// i860-style hardware restartable sequence: the kernel must back the
 	// thread up to the lockb instruction (§7).
 	if t.Ctx.LockActive {
+		from := t.Ctx.PC
 		t.Ctx.PC = t.Ctx.LockPC
 		t.Ctx.LockActive = false
 		t.Restarts++
 		k.Stats.Restarts++
 		k.Stats.HardwareResets++
+		k.trace(TraceRestart, t, uint64(from))
 	}
 
 	switch k.CheckAt {
@@ -793,6 +847,7 @@ func (k *Kernel) syscall(ev vmach.Event) {
 		// trap is delivered on the way out — the effect §5.3 blames for
 		// inflated critical sections.
 		k.Stats.EmulTraps++
+		k.trace(TraceEmulTrap, t, uint64(a0))
 		k.chargeKernel(uint64(k.Profile.EmulTASCycles))
 		old, f := k.M.Mem.LoadWord(a0)
 		if f == nil {

@@ -1,134 +1,44 @@
 package kernel
 
-import (
-	"fmt"
-	"strings"
-)
+import "repro/internal/obs"
 
-// TraceType classifies kernel trace events.
-type TraceType int
+// The kernel's trace plumbing is rebased on the shared observability core
+// (internal/obs): the former private enum, event struct, tracer interface
+// and ring buffer are now aliases of the obs equivalents, so one obs.Bus
+// (or Ring, Capture, PaperMetrics) can be installed as the kernel's
+// Tracer while existing callers and tests keep compiling unchanged.
 
+// TraceType is an alias of the shared event kind.
+type TraceType = obs.Kind
+
+// The kernel's historical names for the kinds it emits.
 const (
-	TraceDispatch TraceType = iota
-	TracePreempt
-	TraceRestart // a RAS rollback was applied (Arg = rolled-back-from PC)
-	TraceSyscall // Arg = syscall number
-	TracePageFault
-	TraceExit // thread finished (Arg = exit code)
-	TraceFault
-	TraceInject   // a chaos fault was applied (Arg = chaos.Action bits)
-	TraceWatchdog // the restart-livelock watchdog fired (Arg = restart count)
-	TraceKill     // a thread was killed (fault injection or KillThread)
-	TraceCrash    // an injected machine crash ended the run
+	TraceDispatch  = obs.KindDispatch
+	TracePreempt   = obs.KindPreempt
+	TraceRestart   = obs.KindRestart // Arg = rolled-back-from PC
+	TraceSyscall   = obs.KindSyscall // Arg = syscall number
+	TracePageFault = obs.KindPageFault
+	TraceExit      = obs.KindExit // Arg = exit code
+	TraceFault     = obs.KindFault
+	TraceInject    = obs.KindInject   // Arg = chaos.Action bits
+	TraceWatchdog  = obs.KindWatchdog // Arg = restart count
+	TraceKill      = obs.KindKill
+	TraceCrash     = obs.KindCrash
+	TraceEmulTrap  = obs.KindEmulTrap // kernel-emulated atomic op
 )
 
-func (t TraceType) String() string {
-	switch t {
-	case TraceDispatch:
-		return "dispatch"
-	case TracePreempt:
-		return "preempt"
-	case TraceRestart:
-		return "restart"
-	case TraceSyscall:
-		return "syscall"
-	case TracePageFault:
-		return "pagefault"
-	case TraceExit:
-		return "exit"
-	case TraceFault:
-		return "fault"
-	case TraceInject:
-		return "inject"
-	case TraceWatchdog:
-		return "watchdog"
-	case TraceKill:
-		return "kill"
-	case TraceCrash:
-		return "crash"
-	}
-	return "?"
-}
+// TraceEvent is an alias of the shared event schema.
+type TraceEvent = obs.Event
 
-// TraceEvent is one kernel-level event.
-type TraceEvent struct {
-	Cycle  uint64
-	Type   TraceType
-	Thread int
-	PC     uint32
-	Arg    uint64
-}
+// Tracer receives kernel events; any obs.Sink qualifies. A nil tracer on
+// the kernel disables tracing entirely.
+type Tracer = obs.Sink
 
-// String renders the event on one line.
-func (ev TraceEvent) String() string {
-	s := fmt.Sprintf("[%10d] t%-2d %-9s pc=%#08x", ev.Cycle, ev.Thread, ev.Type, ev.PC)
-	switch ev.Type {
-	case TraceRestart:
-		s += fmt.Sprintf(" rolled back from %#08x", uint32(ev.Arg))
-	case TraceSyscall:
-		s += fmt.Sprintf(" num=%d", ev.Arg)
-	case TraceExit:
-		s += fmt.Sprintf(" code=%d", ev.Arg)
-	case TraceInject:
-		s += fmt.Sprintf(" action=%#x", ev.Arg)
-	case TraceWatchdog:
-		s += fmt.Sprintf(" restarts=%d", ev.Arg)
-	}
-	return s
-}
-
-// Tracer receives kernel events. A nil tracer on the kernel disables
-// tracing entirely.
-type Tracer interface {
-	Event(TraceEvent)
-}
-
-// RingTracer keeps the most recent events in a fixed-size ring.
-type RingTracer struct {
-	buf   []TraceEvent
-	next  int
-	total uint64
-}
+// RingTracer is the shared bounded drop-oldest ring.
+type RingTracer = obs.Ring
 
 // NewRingTracer creates a tracer retaining the last n events.
-func NewRingTracer(n int) *RingTracer {
-	if n < 1 {
-		n = 1
-	}
-	return &RingTracer{buf: make([]TraceEvent, 0, n)}
-}
-
-// Event implements Tracer.
-func (r *RingTracer) Event(ev TraceEvent) {
-	r.total++
-	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, ev)
-		return
-	}
-	r.buf[r.next] = ev
-	r.next = (r.next + 1) % cap(r.buf)
-}
-
-// Total reports how many events were observed in all.
-func (r *RingTracer) Total() uint64 { return r.total }
-
-// Events returns the retained events in chronological order.
-func (r *RingTracer) Events() []TraceEvent {
-	out := make([]TraceEvent, 0, len(r.buf))
-	out = append(out, r.buf[r.next:]...)
-	out = append(out, r.buf[:r.next]...)
-	return out
-}
-
-// String renders the retained events, one per line.
-func (r *RingTracer) String() string {
-	var b strings.Builder
-	for _, ev := range r.Events() {
-		b.WriteString(ev.String())
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
+func NewRingTracer(n int) *RingTracer { return obs.NewRing(n) }
 
 // trace emits an event if tracing is enabled.
 func (k *Kernel) trace(ty TraceType, t *Thread, arg uint64) {
