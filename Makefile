@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos recovery examples fuzz fmt lint vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery smp examples fuzz fmt lint vet clean tier1
 
 all: build vet test
 
@@ -39,6 +39,11 @@ chaos:
 recovery:
 	$(GO) run ./cmd/rasbench -table recovery
 
+# SMP sweep: the §7 hybrid RAS+spinlock vs pure spinlock vs ll/sc across
+# CPU counts, with per-passage cycle and RMR costs in both counting modes.
+smp:
+	$(GO) run ./cmd/rasbench -table smp -cpus 1,2,4
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/mechanisms
@@ -53,6 +58,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/asm/
 	$(GO) test -fuzz=FuzzRecognizer -fuzztime=30s ./internal/vmach/kernel/
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/vmach/kernel/
+	$(GO) test -fuzz=FuzzSMPCheckpoint -fuzztime=30s ./internal/vmach/smp/
 
 fmt:
 	gofmt -w .

@@ -16,7 +16,8 @@
 // placement), chaos (seeded fault-injection sweep; failures print a
 // one-line seed reproducer, replayable with -seed/-level), recovery
 // (recoverable mutual exclusion: thread-kill sweeps on both substrates,
-// checkpoint replay, crash restore).
+// checkpoint replay, crash restore), smp (§7 hybrid RAS+spinlock vs pure
+// spinlock vs ll/sc across CPU counts; -cpus picks the counts).
 package main
 
 import (
@@ -24,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/bench"
@@ -37,6 +40,7 @@ type benchOpts struct {
 	seed         uint64
 	level        float64
 	timeout      uint64
+	cpus         string // CPU counts for -table smp, e.g. "1,2,4"
 	jsonOut      string // per-table results as JSON ("-" = stdout)
 	traceOut     string // Chrome trace-event JSON of every run ("-" = stdout)
 	metrics      string // event-derived metrics dump ("-" = stdout)
@@ -44,7 +48,7 @@ type benchOpts struct {
 
 func main() {
 	var o benchOpts
-	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,all")
+	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,smp,all")
 	flag.IntVar(&o.iters, "iters", 20000, "microbenchmark loop iterations")
 	flag.IntVar(&o.scale, "scale", 1, "table 3 workload multiplier")
 	flag.Uint64Var(&o.seed, "seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
@@ -53,6 +57,7 @@ func main() {
 	flag.StringVar(&o.jsonOut, "json", "", "write per-table results (name, cycles, restarts, traps) as JSON (\"-\" = stdout)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of every substrate run (\"-\" = stdout; load in Perfetto)")
 	flag.StringVar(&o.metrics, "metrics", "", "write a plain-text metrics dump derived from the event stream (\"-\" = stdout)")
+	flag.StringVar(&o.cpus, "cpus", "", "comma-separated CPU counts for -table smp (default \"1,2,4\")")
 	flag.Parse()
 
 	if err := runOpts(o); err != nil {
@@ -71,12 +76,29 @@ func run(table string, iters, scale int, seed uint64, level float64, timeout uin
 // tableResult is one -json record: the aggregate substrate counters behind
 // one regenerated table.
 type tableResult struct {
-	Name        string `json:"name"`
-	Runs        int    `json:"runs"`
-	Cycles      uint64 `json:"cycles"`
-	Restarts    uint64 `json:"restarts"`
-	Preemptions uint64 `json:"preemptions"`
-	Traps       uint64 `json:"traps"`
+	Name        string         `json:"name"`
+	Runs        int            `json:"runs"`
+	Cycles      uint64         `json:"cycles"`
+	Restarts    uint64         `json:"restarts"`
+	Preemptions uint64         `json:"preemptions"`
+	Traps       uint64         `json:"traps"`
+	SMP         []bench.SMPRow `json:"smp,omitempty"` // row-level detail for -table smp
+}
+
+// parseCPUList turns "-cpus 1,2,4" into []int{1, 2, 4}.
+func parseCPUList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -cpus entry %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 func runOpts(o benchOpts) error {
@@ -102,6 +124,7 @@ func runOpts(o benchOpts) error {
 	}
 
 	var results []tableResult
+	var smpRows []bench.SMPRow // row-level detail captured by the smp step
 	runTable := func(name, title string, fn func() (string, error)) error {
 		if !all && o.table != name {
 			return nil
@@ -117,7 +140,8 @@ func runOpts(o benchOpts) error {
 		fmt.Print(out)
 		results = append(results, tableResult{Name: name, Runs: rs.Runs,
 			Cycles: rs.Cycles, Restarts: rs.Restarts,
-			Preemptions: rs.Preemptions, Traps: rs.EmulTraps})
+			Preemptions: rs.Preemptions, Traps: rs.EmulTraps,
+			SMP: smpRows})
 		return nil
 	}
 
@@ -242,6 +266,26 @@ func runOpts(o benchOpts) error {
 				return "", err
 			}
 			return bench.FormatRecovery(rows), nil
+		}},
+		{"smp", "SMP sweep: §7 hybrid RAS+spinlock vs pure spinlock vs ll/sc", func() (string, error) {
+			cfg := bench.DefaultSMPConfig()
+			cpuList, err := parseCPUList(o.cpus)
+			if err != nil {
+				return "", err
+			}
+			if cpuList != nil {
+				cfg.CPUList = cpuList
+			}
+			if o.seed != 0 {
+				cfg.Seed = o.seed
+			}
+			cfg.MaxCycles = o.timeout
+			rows, err := bench.TableSMP(cfg)
+			if err != nil {
+				return "", err
+			}
+			smpRows = rows
+			return bench.FormatSMP(rows), nil
 		}},
 	}
 

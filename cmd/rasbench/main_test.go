@@ -42,6 +42,18 @@ func TestRunRecovery(t *testing.T) {
 	}
 }
 
+func TestRunSMP(t *testing.T) {
+	if err := runOpts(benchOpts{table: "smp", cpus: "1,2"}); err != nil {
+		t.Errorf("smp: %v", err)
+	}
+}
+
+func TestRunSMPBadCPUList(t *testing.T) {
+	if err := runOpts(benchOpts{table: "smp", cpus: "1,zero"}); err == nil {
+		t.Error("bad -cpus list accepted")
+	}
+}
+
 func TestRunUnknownTable(t *testing.T) {
 	if err := run("nonesuch", 100, 1, 0, 0, 0); err == nil {
 		t.Error("unknown table accepted")

@@ -13,9 +13,14 @@
 // The -demo flag runs a built-in workload instead of a source file:
 // "counter" is the shared-counter mutual exclusion workload; "recoverable"
 // is the owner+epoch recoverable mutex, which survives -kill-at thread
-// deaths by repairing the orphaned lock. The final counter value and
-// kernel statistics are printed, so the effect of each recovery strategy
-// (including "none") is directly observable.
+// deaths by repairing the orphaned lock; "smp" runs the shared counter on
+// a multi-CPU system (-cpus) under the §7 hybrid RAS+spinlock (-lock
+// picks hybrid, spinlock, llsc, or the unsound ras-only control). The
+// final counter value and kernel statistics are printed, so the effect of
+// each recovery strategy (including "none") is directly observable.
+//
+//	rasvm -demo smp -cpus 4                          # §7 hybrid lock
+//	rasvm -demo smp -cpus 2 -lock ras-only           # loses updates
 //
 // Fault and recovery flags: -kill-at injects thread kills at the given
 // retired-instruction steps; -crash-at injects a whole-machine crash.
@@ -57,11 +62,14 @@ type options struct {
 	metrics                 string // metrics dump destination ("-" = stdout)
 	profTop                 int    // top-N cycle profile report (0 = off)
 	folded                  string // folded-stack profile destination ("-" = stdout)
+	cpus                    int    // -demo smp: number of CPUs
+	lock                    string // -demo smp: lock implementation
+	killCPU                 int    // -demo smp: CPU whose running thread -kill-at kills
 	args                    []string
 }
 
 // demos lists the built-in workloads -demo accepts.
-var demos = []string{"counter", "recoverable"}
+var demos = []string{"counter", "recoverable", "smp"}
 
 func main() {
 	var o options
@@ -87,6 +95,9 @@ func main() {
 	flag.StringVar(&o.metrics, "metrics", "", "write a plain-text metrics dump derived from the event stream (\"-\" = stdout)")
 	flag.IntVar(&o.profTop, "profile", 0, "print the top-N symbols of the cycle-attributed profile (0 disables)")
 	flag.StringVar(&o.folded, "folded", "", "write the cycle profile as folded stacks for flamegraph tools (\"-\" = stdout)")
+	flag.IntVar(&o.cpus, "cpus", 1, "-demo smp: number of CPUs")
+	flag.StringVar(&o.lock, "lock", "hybrid", "-demo smp: lock implementation: hybrid, spinlock, llsc, ras-only")
+	flag.IntVar(&o.killCPU, "kill-cpu", 0, "-demo smp: CPU whose running thread -kill-at kills")
 	flag.Parse()
 	o.args = flag.Args()
 
@@ -103,6 +114,9 @@ func main() {
 }
 
 func run(o options) error {
+	if o.demo == "smp" {
+		return runSMP(o)
+	}
 	prof := arch.ByName(o.arch)
 	if prof == nil {
 		return fmt.Errorf("unknown architecture %q (try -list)", o.arch)

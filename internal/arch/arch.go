@@ -46,6 +46,12 @@ type Profile struct {
 	InterlockedCycles int
 	HasInterlocked    bool
 
+	// HasLLSC enables the ll/sc load-linked/store-conditional pair
+	// (R4000-style). The instructions themselves are priced as ordinary
+	// loads and stores; the cost of cross-CPU arbitration emerges from the
+	// SMP coherence model, not from the opcode.
+	HasLLSC bool
+
 	// HasLockBit enables the i860-style lockb instruction: a hardware
 	// restartable sequence begun by lockb and ended by the next store, 32
 	// cycles, or an exception (§7).
@@ -166,6 +172,24 @@ func R3000() *Profile {
 	return &p
 }
 
+// SMP models the multiprocessor variant of the R3000 board used by the
+// smp package: the same clock and per-class costs as the DECstation
+// profile, plus the two ways a multiprocessor can arbitrate — bus-locked
+// interlocked instructions (expensive: the bus stalls every CPU, as on
+// the CVAX/PA parts of Table 4) and ll/sc (cheap per instruction; the
+// expense of contention comes from the coherence cost model instead).
+// Keeping the base costs identical to R3000() is what makes the 1-CPU
+// hybrid-lock numbers directly comparable to Table 1.
+func SMP() *Profile {
+	p := kernelDefaults(Profile{
+		Name: "MIPS R3000 (SMP)", ClockMHz: 25,
+		ALUCycles: 1, LoadCycles: 1, StoreCycles: 2, BranchCycles: 1, JumpCycles: 1,
+		HasInterlocked: true, InterlockedCycles: 30,
+		HasLLSC: true,
+	})
+	return &p
+}
+
 // CVAX models the DEC CVAX microprocessor.
 func CVAX() *Profile {
 	p := kernelDefaults(Profile{
@@ -279,11 +303,13 @@ func ByName(name string) *Profile {
 		return SPARC()
 	case "pa", "hp700", "HP 9000/700":
 		return PA()
+	case "smp", "r3000smp", "MIPS R3000 (SMP)":
+		return SMP()
 	}
 	return nil
 }
 
 // Names lists the short aliases accepted by ByName, in a stable order.
 func Names() []string {
-	return []string{"r3000", "cvax", "68030", "386", "486", "860", "88000", "sparc", "pa"}
+	return []string{"r3000", "cvax", "68030", "386", "486", "860", "88000", "sparc", "pa", "smp"}
 }

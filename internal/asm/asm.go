@@ -503,7 +503,7 @@ func (a *assembler) encodeInst(it item) ([]isa.Word, error) {
 		}
 		return enc(isa.Lui(rt, uint32(imm)))
 
-	case "lw", "sw", "tas", "xchg", "faa":
+	case "lw", "sw", "tas", "xchg", "faa", "ll", "sc":
 		if err := need(2); err != nil {
 			return fail("%v", err)
 		}
@@ -659,6 +659,10 @@ func iOp(m string) uint32 {
 		return isa.OpXCHG
 	case "faa":
 		return isa.OpFAA
+	case "ll":
+		return isa.OpLL
+	case "sc":
+		return isa.OpSC
 	case "beq":
 		return isa.OpBEQ
 	case "bne":

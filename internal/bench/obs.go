@@ -4,6 +4,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/uniproc"
 	"repro/internal/vmach/kernel"
+	"repro/internal/vmach/smp"
 )
 
 // Observability plumbing for the harness. A table regenerates the paper's
@@ -62,6 +63,31 @@ func noteKernelRun(k *kernel.Kernel) {
 	collect.Restarts += k.Stats.Restarts
 	collect.Preemptions += k.Stats.Preemptions
 	collect.EmulTraps += k.Stats.EmulTraps
+}
+
+// attachSMP installs the harness trace sink (if any) on every CPU of a
+// fresh SMP system, starting a new rebased segment. One segment covers
+// the whole system: per-CPU streams stay distinguishable by their CPU
+// stamp, which the Chrome exporter turns into per-CPU process groups.
+func attachSMP(s *smp.System) {
+	if traceSink != nil {
+		traceSink.Advance()
+		s.AttachTracer(traceSink)
+	}
+}
+
+// noteSMPRun folds a finished SMP run — every CPU — into the collector.
+func noteSMPRun(s *smp.System) {
+	if collect == nil {
+		return
+	}
+	collect.Runs++
+	collect.Cycles += s.TotalCycles()
+	for _, k := range s.CPUs {
+		collect.Restarts += k.Stats.Restarts
+		collect.Preemptions += k.Stats.Preemptions
+		collect.EmulTraps += k.Stats.EmulTraps
+	}
 }
 
 // attachProc installs the harness trace sink (if any) on a fresh

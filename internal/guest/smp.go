@@ -1,0 +1,224 @@
+package guest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SMPLock selects the lock implementation in SMPCounterProgram.
+type SMPLock int
+
+const (
+	// SMPHybrid is the paper's §7 scheme: a restartable atomic sequence
+	// arbitrates among the threads of one CPU on a per-CPU claim word,
+	// and the interlocked tas is reserved for cross-CPU arbitration of
+	// the shared spinlock word. The global word is held on behalf of a
+	// CPU, not a thread: release hands the lock over CPU-locally and
+	// leaves the global word alone, so an intra-CPU passage executes no
+	// interlocked operation and touches no remote line at all — the
+	// whole point of §7. For cross-CPU fairness the bias is bounded:
+	// after HybridBatch consecutive local passages (or when the last
+	// local contender exits) the global word is released and the next
+	// passage re-arbitrates it with tas.
+	SMPHybrid SMPLock = iota
+	// SMPSpin is the pure spinlock baseline: every thread of every CPU
+	// test-and-sets the shared word directly, paying the bus-locked
+	// interlocked cost on each attempt.
+	SMPSpin
+	// SMPLLSC is a load-linked/store-conditional mutex on the shared
+	// word (the R4000 route §7 contrasts with).
+	SMPLLSC
+	// SMPRASOnly is the unsound control: the uniprocessor designated
+	// sequence alone, with no cross-CPU arbitration. On one CPU it is
+	// correct and fast; on two it loses updates — the §7 observation
+	// the hybrid exists to fix.
+	SMPRASOnly
+)
+
+// HybridBatch bounds how many consecutive passages a CPU may hand off
+// locally before the hybrid lock releases the shared word for cross-CPU
+// re-arbitration. Larger values amortize the interlocked acquire over
+// more local passages; smaller values hand the lock across CPUs sooner.
+const HybridBatch = 8
+
+func (l SMPLock) String() string {
+	switch l {
+	case SMPHybrid:
+		return "hybrid"
+	case SMPSpin:
+		return "spinlock"
+	case SMPLLSC:
+		return "llsc"
+	case SMPRASOnly:
+		return "ras-only"
+	}
+	return "unknown"
+}
+
+// SMPCounterProgram builds the SMP contended-counter workload: the
+// harness spawns workers at symbol "worker" (a0 = iterations) on each
+// CPU of an smp.System; every worker performs { acquire; counter++;
+// release } that many times with lock l. The final counter value is at
+// symbol "counter" and must equal the total spawned iterations.
+//
+// Shared data is laid out one coherence line apart — the spinlock word,
+// the counter, and each CPU's hybrid claim word get a line of their own —
+// so the RMRs a run counts come from the protocol, not false sharing.
+// cpus sizes the per-CPU claim array.
+func SMPCounterProgram(l SMPLock, cpus int) string {
+	var b strings.Builder
+	b.WriteString("\t.text\nworker:                         # a0 = iterations\n")
+	b.WriteString("\tmove s0, a0\n\tla   s1, slock\n\tla   s2, counter\n")
+	if l == SMPHybrid {
+		fmt.Fprintf(&b, `	la   s3, gowner
+	li   v0, 11             # SysCPU: which processor am I on?
+	syscall
+	sll  t0, v0, 6          # claim words are one line (64 bytes) apart
+	la   s4, local
+	add  s4, s4, t0         # s4 = &claim[my cpu]
+	addi s5, v0, 1          # s5 = cpu+1, the gowner tag
+	addi s6, s4, 4          # s6 = &batch[my cpu], same line as the claim
+	li   s7, %d             # bias bound: local handoffs per batch
+`, HybridBatch)
+	}
+	b.WriteString("wloop:\n")
+
+	switch l {
+	case SMPHybrid:
+		b.WriteString(`hacq:
+	lw   v0, 0(s4)          # intra-CPU arbitration: the designated RAS
+	ori  t0, zero, 1        # test-and-set, on this CPU's claim word
+	bne  v0, zero, hbusy
+	landmark
+	sw   t0, 0(s4)          # claim committed
+	b    hwon
+hbusy:
+	li   v0, 1              # SysYield while a sibling holds the claim
+	syscall
+	b    hacq
+hwon:
+	lw   t1, 0(s3)          # global word already biased to this CPU?
+	beq  t1, s5, cs         # yes: intra-CPU handoff, no interlocked op
+gacq:
+	lw   v0, 0(s1)          # cross-CPU arbitration: test-and-test-and-
+	bne  v0, zero, gacq     # set; busy-spin on the cached copy (the
+	tas  v0, 0(s1)          # holder is another CPU making progress, so
+	bne  v0, zero, gacq     # yielding would not help) and go bus-locked
+	sw   s5, 0(s3)          # only when the word looks free
+	b    cs
+`)
+	case SMPSpin:
+		b.WriteString(`sacq:
+	tas  v0, 0(s1)          # every attempt is a bus-locked interlocked op
+	beq  v0, zero, cs
+	li   v0, 1              # SysYield while held
+	syscall
+	b    sacq
+`)
+	case SMPLLSC:
+		b.WriteString(`lacq:
+	ll   v0, 0(s1)          # load-linked the mutex word
+	bne  v0, zero, lwait
+	ori  t0, zero, 1
+	sc   t0, 0(s1)          # store-conditional: any intervening write
+	beq  t0, zero, lacq     # (or a context switch) fails it; retry
+	b    cs
+lwait:
+	li   v0, 1              # SysYield while held
+	syscall
+	b    lacq
+`)
+	case SMPRASOnly:
+		b.WriteString(`racq:
+	lw   v0, 0(s1)          # the uniprocessor designated sequence on the
+	ori  t0, zero, 1        # shared word: arbitrates one CPU's threads
+	bne  v0, zero, rwait    # only (§7) — unsound across CPUs
+	landmark
+	sw   t0, 0(s1)
+	b    cs
+rwait:
+	li   v0, 1
+	syscall
+	b    racq
+`)
+	}
+
+	// Critical section, then release. A single word store releases: it is
+	// atomic across CPUs in this memory model. The hybrid's release keeps
+	// the global word biased to this CPU and only releases the claim —
+	// the batch counter (touched only while holding the claim, so plain
+	// loads and stores suffice) bounds how long, and the exit epilogue
+	// surrenders the bias so a finished CPU can never strand the word.
+	b.WriteString(`cs:
+	lw   t1, 0(s2)          # critical section: counter++
+	addi t1, t1, 1
+	sw   t1, 0(s2)
+`)
+	switch l {
+	case SMPHybrid:
+		b.WriteString(`	lw   t1, 0(s6)          # bump the batch counter
+	addi t1, t1, 1
+	beq  t1, s7, unbias     # batch exhausted: time to be fair
+	sw   t1, 0(s6)
+	b    hrel
+unbias:
+	sw   zero, 0(s6)        # reset the batch...
+	sw   zero, 0(s3)        # ...clear the owning CPU...
+	sw   zero, 0(s1)        # ...and release the shared word
+hrel:
+	sw   zero, 0(s4)        # hand off: release the claim only
+	addi s0, s0, -1
+	bne  s0, zero, wloop
+facq:
+	lw   v0, 0(s4)          # exit epilogue: retake the claim (same
+	ori  t0, zero, 1        # designated RAS shape) to surrender any
+	bne  v0, zero, fbusy    # bias this CPU still holds
+	landmark
+	sw   t0, 0(s4)
+	b    fwon
+fbusy:
+	li   v0, 1
+	syscall
+	b    facq
+fwon:
+	lw   t1, 0(s3)          # biased to this CPU?
+	bne  t1, s5, frel       # no: nothing to give back
+	sw   zero, 0(s6)
+	sw   zero, 0(s3)
+	sw   zero, 0(s1)
+frel:
+	sw   zero, 0(s4)
+`)
+	default:
+		b.WriteString(`	sw   zero, 0(s1)        # release the shared word
+	addi s0, s0, -1
+	bne  s0, zero, wloop
+`)
+	}
+	b.WriteString(`	li   v0, 0              # SysExit
+	move a0, zero
+	syscall
+`)
+
+	// Data: everything contended gets its own coherence line. The global
+	// word and its owner tag share a line (they are written together at
+	// cross-CPU transfers); each CPU's claim word and batch counter share
+	// that CPU's private line.
+	fmt.Fprintf(&b, `
+	.data
+slock:   .word 0
+gowner:  .word 0
+	.space 56
+counter: .word 0
+	.space 60
+local:   .space %d
+`, 64*maxInt(cpus, 1))
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

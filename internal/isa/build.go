@@ -50,6 +50,12 @@ func Sw(rt, rs int, imm int32) Inst { return I(OpSW, rt, rs, imm) }
 // Tas builds the interlocked "tas rt, imm(rs)".
 func Tas(rt, rs int, imm int32) Inst { return I(OpTAS, rt, rs, imm) }
 
+// Ll builds "ll rt, imm(rs)" (load-linked).
+func Ll(rt, rs int, imm int32) Inst { return I(OpLL, rt, rs, imm) }
+
+// Sc builds "sc rt, imm(rs)" (store-conditional).
+func Sc(rt, rs int, imm int32) Inst { return I(OpSC, rt, rs, imm) }
+
 // Lui builds "lui rt, uimm".
 func Lui(rt int, uimm uint32) Inst { return U(OpLUI, rt, 0, uimm) }
 

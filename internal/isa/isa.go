@@ -123,6 +123,14 @@ const (
 	OpXCHG  = 0x31 // tmp <- mem[rs+imm]; mem[rs+imm] <- rt; rt <- tmp
 	OpFAA   = 0x32 // rt <- mem[rs+imm]; mem[rs+imm] <- rt + 1
 	OpLOCKB = 0x33 // i860-style: begin hardware restartable sequence
+
+	// Load-linked / store-conditional (R4000-style, §7's cross-processor
+	// arbitration). ll arms a per-CPU reservation on the loaded line; sc
+	// stores only if the reservation survived (no intervening context
+	// switch on this CPU, no remote write to the line) and leaves 1 in rt
+	// on success, 0 on failure. Profiles gate them via HasLLSC.
+	OpLL = 0x34 // rt <- mem[rs+imm]; reserve the line
+	OpSC = 0x35 // if reserved: mem[rs+imm] <- rt, rt <- 1; else rt <- 0
 )
 
 // SPECIAL function codes (bits 5..0 when Op == OpSpecial).
@@ -287,9 +295,9 @@ func ClassOf(i Inst) Class {
 		default:
 			return ClassALU
 		}
-	case OpLW:
+	case OpLW, OpLL:
 		return ClassLoad
-	case OpSW:
+	case OpSW, OpSC:
 		return ClassStore
 	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ:
 		return ClassBranch
@@ -384,6 +392,10 @@ func Mnemonic(i Inst) string {
 		return "faa"
 	case OpLOCKB:
 		return "lockb"
+	case OpLL:
+		return "ll"
+	case OpSC:
+		return "sc"
 	}
 	return fmt.Sprintf("op?%#x", i.Op)
 }
@@ -420,7 +432,7 @@ func (i Inst) String() string {
 		return fmt.Sprintf("%s %s, %d", m, RegName(i.Rs), i.Imm)
 	case OpLUI:
 		return fmt.Sprintf("lui %s, %#x", RegName(i.Rt), i.Uimm)
-	case OpLW, OpSW, OpTAS, OpXCHG, OpFAA:
+	case OpLW, OpSW, OpTAS, OpXCHG, OpFAA, OpLL, OpSC:
 		return fmt.Sprintf("%s %s, %d(%s)", m, RegName(i.Rt), i.Imm, RegName(i.Rs))
 	case OpLOCKB:
 		return "lockb"

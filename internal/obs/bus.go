@@ -82,10 +82,17 @@ func (r *Rebase) Event(ev Event) {
 		r.maxThread = ev.Thread
 	}
 	// Thread-ID arguments (fork/unblock/repair targets) live in the same
-	// ID space as Thread and must be renumbered with it.
+	// ID space as Thread and must be renumbered with it. They also extend
+	// the run's occupied ID range: a forked thread that never emits an
+	// event of its own (killed before dispatch, or scheduled on a CPU
+	// whose stream is stitched separately) would otherwise leave maxThread
+	// low and let the next run's base collide with its ID.
 	switch ev.Type {
 	case KindFork, KindUnblock, KindRepair:
 		ev.Arg += uint64(r.threadBase)
+		if int(ev.Arg) > r.maxThread {
+			r.maxThread = int(ev.Arg)
+		}
 	}
 	r.sink.Event(ev)
 }

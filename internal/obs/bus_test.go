@@ -71,6 +71,35 @@ func TestRebaseMonotoneAcrossRuns(t *testing.T) {
 	}
 }
 
+// Regression: a forked thread that never emits an event of its own (killed
+// before dispatch, or emitting only on another CPU's stream) must still
+// reserve its ID. The renumbering base once ignored fork Args, so the next
+// run's threads collided with the silent child's track.
+func TestRebaseSilentForkChildDoesNotCollide(t *testing.T) {
+	c := &Capture{}
+	r := NewRebase(c)
+
+	// Run 1: thread 0 forks thread 5, which never emits anything.
+	r.Event(Event{Cycle: 0, Type: KindDispatch, Thread: 0})
+	r.Event(Event{Cycle: 10, Type: KindFork, Thread: 0, Arg: 5})
+	r.Advance()
+	// Run 2: its thread 0 must land past the silent child's ID 5.
+	r.Event(Event{Cycle: 0, Type: KindDispatch, Thread: 0})
+
+	evs := c.Events()
+	if len(evs) != 3 {
+		t.Fatalf("captured %d events, want 3", len(evs))
+	}
+	if evs[2].Thread != 6 {
+		t.Errorf("run 2 thread renumbered to %d, want 6 (past the forked 5)", evs[2].Thread)
+	}
+
+	seen := map[int]bool{evs[0].Thread: true, int(evs[1].Arg): true}
+	if seen[evs[2].Thread] {
+		t.Errorf("thread ID %d collides with run 1's range", evs[2].Thread)
+	}
+}
+
 func TestRebasedStreamExportsValidChrome(t *testing.T) {
 	// The whole point of Rebase: two runs through one capture still render
 	// into a structurally valid Chrome trace.

@@ -37,28 +37,43 @@ func suspends(k Kind) bool {
 	return false
 }
 
+// track identifies one exported Chrome track: a (process, thread) pair.
+// The exporter maps each source CPU to a Chrome process, so an SMP stream
+// renders as one track group per CPU; uniprocessor streams all land in
+// process 0 exactly as before.
+type track struct{ pid, tid int }
+
 // ChromeTraceDoc converts a chronological event stream into a Chrome
-// trace document: one track per thread whose "running" slices are bounded
-// by dispatch and suspension events, instant events for everything else
-// on the owning thread's track, and every chaos injection mirrored as an
-// instant on the dedicated ChaosTID track.
+// trace document: one process group per CPU, one track per thread whose
+// "running" slices are bounded by dispatch and suspension events, instant
+// events for everything else on the owning thread's track, and every
+// chaos injection mirrored as an instant on the dedicated ChaosTID track
+// of the injecting CPU's group.
 func ChromeTraceDoc(events []Event) *ChromeDoc {
 	doc := &ChromeDoc{DisplayTimeUnit: "ns", TraceEvents: []ChromeEvent{}}
-	open := map[int]bool{}  // tid -> has an open "running" slice
-	named := map[int]bool{} // tid -> thread_name metadata emitted
+	open := map[track]bool{}    // track -> has an open "running" slice
+	named := map[track]bool{}   // track -> thread_name metadata emitted
+	procNamed := map[int]bool{} // pid -> process_name metadata emitted
 	var last uint64
 
-	name := func(tid int) {
-		if named[tid] {
+	name := func(tr track) {
+		if tr.pid != 0 && !procNamed[tr.pid] {
+			procNamed[tr.pid] = true
+			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+				Name: "process_name", Phase: "M", PID: tr.pid,
+				Args: map[string]interface{}{"name": fmt.Sprintf("cpu%d", tr.pid)},
+			})
+		}
+		if named[tr] {
 			return
 		}
-		named[tid] = true
-		label := fmt.Sprintf("t%d", tid)
-		if tid == ChaosTID {
+		named[tr] = true
+		label := fmt.Sprintf("t%d", tr.tid)
+		if tr.tid == ChaosTID {
 			label = "chaos"
 		}
 		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
-			Name: "thread_name", Phase: "M", PID: 0, TID: tid,
+			Name: "thread_name", Phase: "M", PID: tr.pid, TID: tr.tid,
 			Args: map[string]interface{}{"name": label},
 		})
 	}
@@ -67,17 +82,18 @@ func ChromeTraceDoc(events []Event) *ChromeDoc {
 		if ev.Cycle > last {
 			last = ev.Cycle
 		}
-		name(ev.Thread)
+		tr := track{pid: ev.CPU, tid: ev.Thread}
+		name(tr)
 		switch {
 		case ev.Type == KindDispatch:
-			if open[ev.Thread] { // defensive: never emit unbalanced B
+			if open[tr] { // defensive: never emit unbalanced B
 				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
-					Name: "running", Phase: "E", TS: ev.Cycle, PID: 0, TID: ev.Thread,
+					Name: "running", Phase: "E", TS: ev.Cycle, PID: tr.pid, TID: tr.tid,
 				})
 			}
-			open[ev.Thread] = true
+			open[tr] = true
 			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
-				Name: "running", Phase: "B", TS: ev.Cycle, PID: 0, TID: ev.Thread,
+				Name: "running", Phase: "B", TS: ev.Cycle, PID: tr.pid, TID: tr.tid,
 			})
 		case suspends(ev.Type):
 			args := map[string]interface{}{"arg": ev.Arg}
@@ -85,13 +101,13 @@ func ChromeTraceDoc(events []Event) *ChromeDoc {
 				args["pc"] = fmt.Sprintf("%#08x", ev.PC)
 			}
 			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
-				Name: ev.Type.String(), Phase: "i", TS: ev.Cycle, PID: 0,
-				TID: ev.Thread, Scope: "t", Args: args,
+				Name: ev.Type.String(), Phase: "i", TS: ev.Cycle, PID: tr.pid,
+				TID: tr.tid, Scope: "t", Args: args,
 			})
-			if open[ev.Thread] {
-				open[ev.Thread] = false
+			if open[tr] {
+				open[tr] = false
 				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
-					Name: "running", Phase: "E", TS: ev.Cycle, PID: 0, TID: ev.Thread,
+					Name: "running", Phase: "E", TS: ev.Cycle, PID: tr.pid, TID: tr.tid,
 				})
 			}
 		default:
@@ -100,14 +116,14 @@ func ChromeTraceDoc(events []Event) *ChromeDoc {
 				args["pc"] = fmt.Sprintf("%#08x", ev.PC)
 			}
 			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
-				Name: ev.Type.String(), Phase: "i", TS: ev.Cycle, PID: 0,
-				TID: ev.Thread, Scope: "t", Args: args,
+				Name: ev.Type.String(), Phase: "i", TS: ev.Cycle, PID: tr.pid,
+				TID: tr.tid, Scope: "t", Args: args,
 			})
 		}
 		if ev.Type == KindInject {
-			name(ChaosTID)
+			name(track{pid: ev.CPU, tid: ChaosTID})
 			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
-				Name: "inject", Phase: "i", TS: ev.Cycle, PID: 0, TID: ChaosTID,
+				Name: "inject", Phase: "i", TS: ev.Cycle, PID: ev.CPU, TID: ChaosTID,
 				Scope: "t",
 				Args: map[string]interface{}{
 					"action": fmt.Sprintf("%#x", ev.Arg),
@@ -118,10 +134,10 @@ func ChromeTraceDoc(events []Event) *ChromeDoc {
 	}
 	// Close slices still open when the stream ends (run cut short by a
 	// crash or the event horizon), keeping every track's B/E balanced.
-	for tid, isOpen := range open {
+	for tr, isOpen := range open {
 		if isOpen {
 			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
-				Name: "running", Phase: "E", TS: last, PID: 0, TID: tid,
+				Name: "running", Phase: "E", TS: last, PID: tr.pid, TID: tr.tid,
 			})
 		}
 	}
@@ -150,18 +166,19 @@ func DecodeChromeTrace(data []byte) (*ChromeDoc, error) {
 // the chaos track, so callers can assert injections survived the round
 // trip.
 func ValidateChrome(doc *ChromeDoc) (chaosInstants int, err error) {
-	lastTS := map[int]uint64{}
-	depth := map[int]int{}
+	lastTS := map[track]uint64{}
+	depth := map[track]int{}
 	for i, ev := range doc.TraceEvents {
+		tr := track{pid: ev.PID, tid: ev.TID}
 		switch ev.Phase {
 		case "M":
 			continue
 		case "B":
-			depth[ev.TID]++
+			depth[tr]++
 		case "E":
-			depth[ev.TID]--
-			if depth[ev.TID] < 0 {
-				return 0, fmt.Errorf("event %d: slice end without begin on tid %d", i, ev.TID)
+			depth[tr]--
+			if depth[tr] < 0 {
+				return 0, fmt.Errorf("event %d: slice end without begin on pid %d tid %d", i, ev.PID, ev.TID)
 			}
 		case "i", "I":
 			if ev.TID == ChaosTID {
@@ -170,15 +187,15 @@ func ValidateChrome(doc *ChromeDoc) (chaosInstants int, err error) {
 		default:
 			return 0, fmt.Errorf("event %d: unknown phase %q", i, ev.Phase)
 		}
-		if prev, ok := lastTS[ev.TID]; ok && ev.TS < prev {
-			return 0, fmt.Errorf("event %d: timestamp %d < %d goes backwards on tid %d",
-				i, ev.TS, prev, ev.TID)
+		if prev, ok := lastTS[tr]; ok && ev.TS < prev {
+			return 0, fmt.Errorf("event %d: timestamp %d < %d goes backwards on pid %d tid %d",
+				i, ev.TS, prev, ev.PID, ev.TID)
 		}
-		lastTS[ev.TID] = ev.TS
+		lastTS[tr] = ev.TS
 	}
-	for tid, d := range depth {
+	for tr, d := range depth {
 		if d != 0 {
-			return 0, fmt.Errorf("tid %d: %d unclosed slice(s)", tid, d)
+			return 0, fmt.Errorf("pid %d tid %d: %d unclosed slice(s)", tr.pid, tr.tid, d)
 		}
 	}
 	return chaosInstants, nil

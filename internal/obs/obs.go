@@ -110,11 +110,13 @@ func (k Kind) String() string {
 
 // Event is one observation, in the schema both substrates share. Cycle is
 // virtual time; PC is meaningful only on the ISA substrate (zero on the
-// runtime layer, which has no program counter).
+// runtime layer, which has no program counter). CPU identifies which CPU
+// of an SMP complex emitted the event; uniprocessor substrates leave it 0.
 type Event struct {
 	Cycle  uint64
 	Type   Kind
 	Thread int
+	CPU    int
 	PC     uint32
 	Arg    uint64
 }
@@ -122,6 +124,9 @@ type Event struct {
 // String renders the event on one line.
 func (ev Event) String() string {
 	s := fmt.Sprintf("[%10d] t%-2d %-9s", ev.Cycle, ev.Thread, ev.Type)
+	if ev.CPU != 0 {
+		s = fmt.Sprintf("[%10d] cpu%d t%-2d %-9s", ev.Cycle, ev.CPU, ev.Thread, ev.Type)
+	}
 	if ev.PC != 0 {
 		s += fmt.Sprintf(" pc=%#08x", ev.PC)
 	}

@@ -15,8 +15,12 @@ import (
 // bit-identical — the property FuzzCheckpoint checks.
 
 const (
-	checkpointMagic   = "RASCKPT\x00"
-	checkpointVersion = 1
+	checkpointMagic = "RASCKPT\x00"
+	// Version 2 added the machine's ll/sc reservation and the coherence
+	// counters (RMRs, CoherenceCycles) to MachineImage. Version-1 blobs
+	// are rejected rather than migrated: the format is canonical, and a
+	// silent zero-fill would forge coherence history.
+	checkpointVersion = 2
 )
 
 // maxSliceLen bounds every decoded length prefix. Real snapshots are far
@@ -199,6 +203,8 @@ func encodeMachineStats(e *encoder, s *vmach.Stats) {
 	e.u64(s.LockBExpired)
 	e.u64(s.WriteStalls)
 	e.u64(s.WriteStallCycles)
+	e.u64(s.RMRs)
+	e.u64(s.CoherenceCycles)
 }
 
 func decodeMachineStats(d *decoder, s *vmach.Stats) {
@@ -211,6 +217,8 @@ func decodeMachineStats(d *decoder, s *vmach.Stats) {
 	s.LockBExpired = d.u64()
 	s.WriteStalls = d.u64()
 	s.WriteStallCycles = d.u64()
+	s.RMRs = d.u64()
+	s.CoherenceCycles = d.u64()
 }
 
 func encodeMachineImage(e *encoder, m *vmach.MachineImage) {
@@ -220,19 +228,25 @@ func encodeMachineImage(e *encoder, m *vmach.MachineImage) {
 	for _, w := range m.WB {
 		e.u64(w)
 	}
-	e.u32(uint32(len(m.Mem.Pages)))
-	for i := range m.Mem.Pages {
-		p := &m.Mem.Pages[i]
+	e.boolean(m.ResValid)
+	e.u32(m.ResAddr)
+	encodeMemoryImage(e, m.Mem)
+}
+
+func encodeMemoryImage(e *encoder, mem *vmach.MemoryImage) {
+	e.u32(uint32(len(mem.Pages)))
+	for i := range mem.Pages {
+		p := &mem.Pages[i]
 		e.u32(p.PN)
 		for _, w := range p.Words {
 			e.u32(uint32(w))
 		}
 	}
-	e.u32(uint32(len(m.Mem.NotPresent)))
-	for _, pn := range m.Mem.NotPresent {
+	e.u32(uint32(len(mem.NotPresent)))
+	for _, pn := range mem.NotPresent {
 		e.u32(pn)
 	}
-	e.u64(m.Mem.PageFaults)
+	e.u64(mem.PageFaults)
 }
 
 func decodeMachineImage(d *decoder) *vmach.MachineImage {
@@ -242,19 +256,49 @@ func decodeMachineImage(d *decoder) *vmach.MachineImage {
 	for n := d.sliceLen(8); n > 0 && d.err == nil; n-- {
 		m.WB = append(m.WB, d.u64())
 	}
+	m.ResValid = d.boolean()
+	m.ResAddr = d.u32()
+	decodeMemoryImage(d, m.Mem)
+	return m
+}
+
+func decodeMemoryImage(d *decoder, mem *vmach.MemoryImage) {
 	for n := d.sliceLen(4 + 4*vmach.PageWords); n > 0 && d.err == nil; n-- {
 		var p vmach.PageImage
 		p.PN = d.u32()
 		for i := range p.Words {
 			p.Words[i] = isa.Word(d.u32())
 		}
-		m.Mem.Pages = append(m.Mem.Pages, p)
+		mem.Pages = append(mem.Pages, p)
 	}
 	for n := d.sliceLen(4); n > 0 && d.err == nil; n-- {
-		m.Mem.NotPresent = append(m.Mem.NotPresent, d.u32())
+		mem.NotPresent = append(mem.NotPresent, d.u32())
 	}
-	m.Mem.PageFaults = d.u64()
-	return m
+	mem.PageFaults = d.u64()
+}
+
+// EncodeMemoryImage serializes a memory image alone, in the same canonical
+// form it takes inside a kernel checkpoint. The SMP container format uses
+// this to encode the shared memory once instead of once per CPU.
+func EncodeMemoryImage(mem *vmach.MemoryImage) []byte {
+	e := &encoder{}
+	encodeMemoryImage(e, mem)
+	return e.b
+}
+
+// DecodeMemoryImage parses a blob produced by EncodeMemoryImage. It
+// consumes the entire input; trailing bytes are an error.
+func DecodeMemoryImage(data []byte) (*vmach.MemoryImage, error) {
+	d := &decoder{b: data}
+	mem := &vmach.MemoryImage{}
+	decodeMemoryImage(d, mem)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.b) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadCheckpoint, len(d.b)-d.off)
+	}
+	return mem, nil
 }
 
 // Encode serializes the snapshot. The encoding of a given snapshot is a

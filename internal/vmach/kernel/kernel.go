@@ -51,6 +51,11 @@ const (
 	// Recoverable-mutual-exclusion support: the liveness oracle. A lock
 	// word naming a dead owner is orphaned and may be repaired.
 	SysThreadAlive = 10 // a0 = tid; v0 = 1 if the thread can still run, else 0
+
+	// SMP support: which CPU is the caller running on? The hybrid lock
+	// (paper §7) indexes its per-CPU claim word with this. Threads never
+	// migrate between CPUs, so the answer is stable for a thread's life.
+	SysCPU = 11 // v0 = CPU number (0 on a uniprocessor)
 )
 
 // Mutex word values for the Taos-style designated mutex.
@@ -178,6 +183,14 @@ type Config struct {
 	// one quantum extension (WatchdogExtend) or an aborted run carrying a
 	// *LivelockError diagnostic (WatchdogAbort).
 	Watchdog chaos.Watchdog
+	// Memory, when non-nil, backs the kernel's machine instead of a fresh
+	// memory — the CPUs of an SMP complex share one physical memory this
+	// way (internal/vmach/smp).
+	Memory *vmach.Memory
+	// CPUID identifies which CPU of an SMP complex this kernel schedules
+	// (zero on a plain uniprocessor). It stamps trace events and answers
+	// SysCPU.
+	CPUID int
 }
 
 // Kernel multiplexes threads onto one vmach.Machine.
@@ -187,6 +200,8 @@ type Kernel struct {
 	Strategy Strategy
 	CheckAt  CheckTime
 	Quantum  uint64
+	// CPUID is which CPU of an SMP complex this kernel is (0 standalone).
+	CPUID int
 
 	pageFaultCycles uint64
 	maxCycles       uint64
@@ -250,7 +265,8 @@ func New(cfg Config) *Kernel {
 	return &Kernel{
 		rasBySpace:      make(map[int]rasRange),
 		waitq:           make(map[uint32][]*Thread),
-		M:               vmach.New(cfg.Profile),
+		M:               vmach.NewWithMemory(cfg.Profile, cfg.Memory),
+		CPUID:           cfg.CPUID,
 		Profile:         cfg.Profile,
 		Strategy:        cfg.Strategy,
 		CheckAt:         cfg.CheckAt,
@@ -354,6 +370,12 @@ func (k *Kernel) RunSteps(n uint64) (finished bool, err error) {
 	return false, nil
 }
 
+// StepOne performs one scheduler iteration — dispatch or one guest
+// instruction — reporting whether the run finished and its verdict. It is
+// the instruction-granularity stepping hook the SMP round-robin scheduler
+// drives; Run is equivalent to calling it until finished.
+func (k *Kernel) StepOne() (finished bool, err error) { return k.stepOnce() }
+
 // stepOnce performs one scheduler iteration: dispatch if no thread is
 // running, otherwise execute one instruction and service whatever it
 // raised. It reports the run finished (with the run's verdict) or not.
@@ -431,6 +453,10 @@ func (k *Kernel) dispatch() {
 	k.runq = k.runq[1:]
 	t.State = StateRunning
 	k.cur = t
+	// A context switch invalidates the CPU's ll/sc reservation (the
+	// R4000's LLbit is cleared by eret): an interrupted ll/sc pair must
+	// retry, never succeed against another thread's reservation.
+	k.M.ClearReservation()
 	k.Stats.Switches++
 	k.trace(TraceDispatch, t, 0)
 	k.chargeKernel(uint64(k.Profile.ResumeCycles))
@@ -878,6 +904,9 @@ func (k *Kernel) syscall(ev vmach.Event) {
 
 	case SysSetHandler:
 		k.userHandler, k.hasUserHandler = a0, true
+
+	case SysCPU:
+		t.Ctx.Regs[isa.RegV0] = isa.Word(k.CPUID)
 
 	case SysThreadAlive:
 		// The RME liveness oracle, answered with interrupts disabled: is

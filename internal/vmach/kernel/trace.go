@@ -45,7 +45,7 @@ func (k *Kernel) trace(ty TraceType, t *Thread, arg uint64) {
 	if k.Tracer == nil {
 		return
 	}
-	ev := TraceEvent{Cycle: k.M.Stats.Cycles, Type: ty, Arg: arg}
+	ev := TraceEvent{Cycle: k.M.Stats.Cycles, Type: ty, Arg: arg, CPU: k.CPUID}
 	if t != nil {
 		ev.Thread = t.ID
 		ev.PC = t.Ctx.PC

@@ -53,24 +53,81 @@ type Stats struct {
 	// Write-buffer stalls (profiles with WriteBufferDepth > 0).
 	WriteStalls      uint64
 	WriteStallCycles uint64
+	// SMP coherence accounting (zero on a plain uniprocessor): remote
+	// memory references charged to this CPU and the extra cycles the
+	// coherence cost model added to its clock.
+	RMRs            uint64
+	CoherenceCycles uint64
 }
 
-// Machine executes instructions against a Context. It is a pure
+// CoherenceHook prices one committed data-memory access when the machine
+// is a CPU of an SMP complex (internal/vmach/smp). It returns the extra
+// cycles the access costs beyond the instruction's class cost, and whether
+// the access counted as a remote memory reference. A nil hook means
+// uniprocessor semantics: every access is local and free.
+type CoherenceHook interface {
+	Access(addr uint32, write bool) (extra uint64, rmr bool)
+}
+
+// Machine executes instructions against a Context. On its own it is a pure
 // uniprocessor: no concurrency is involved; the kernel multiplexes thread
-// contexts onto this single interpreter.
+// contexts onto this single interpreter. An SMP complex steps several
+// Machines sharing one Memory, each Machine playing the role of one CPU
+// with its own clock, stats, write buffer, and ll/sc reservation.
 type Machine struct {
 	Mem     *Memory
 	Profile *arch.Profile
 	Stats   Stats
 
+	// Coherence, when non-nil, observes and prices every committed data
+	// access (loads, stores, interlocked ops, ll/sc).
+	Coherence CoherenceHook
+
 	// wb holds the retire times (in cycles) of write-buffer entries still
 	// draining to memory, oldest first.
 	wb []uint64
+
+	// ll/sc reservation: per-CPU (not per-thread) state, as on the R4000.
+	// The kernel clears it on every dispatch; the SMP coherence layer
+	// clears it when a remote CPU writes the reserved line.
+	resValid bool
+	resAddr  uint32
 }
 
 // New creates a machine with fresh memory.
 func New(p *arch.Profile) *Machine {
-	return &Machine{Mem: NewMemory(), Profile: p}
+	return NewWithMemory(p, nil)
+}
+
+// NewWithMemory creates a machine backed by an existing memory, so several
+// machines (the CPUs of an SMP complex) can share one physical memory. A
+// nil mem allocates a fresh one.
+func NewWithMemory(p *arch.Profile, mem *Memory) *Machine {
+	if mem == nil {
+		mem = NewMemory()
+	}
+	return &Machine{Mem: mem, Profile: p}
+}
+
+// ClearReservation invalidates the machine's ll/sc reservation (context
+// switch, trap return, or a remote write to the reserved line).
+func (m *Machine) ClearReservation() { m.resValid = false }
+
+// Reservation returns the ll/sc reservation address and whether one is
+// armed.
+func (m *Machine) Reservation() (uint32, bool) { return m.resAddr, m.resValid }
+
+// coherent charges the coherence cost model for one committed data access.
+func (m *Machine) coherent(addr uint32, write bool) {
+	if m.Coherence == nil {
+		return
+	}
+	extra, rmr := m.Coherence.Access(addr, write)
+	m.Stats.Cycles += extra
+	m.Stats.CoherenceCycles += extra
+	if rmr {
+		m.Stats.RMRs++
+	}
 }
 
 // charge adds the cycle cost of one instruction of class c, honouring the
@@ -192,6 +249,7 @@ func (m *Machine) Step(ctx *Context) Event {
 		}
 		set(inst.Rt, v)
 		m.Stats.Loads++
+		m.coherent(addr, false)
 
 	case isa.OpSW:
 		addr := reg(inst.Rs) + isa.Word(inst.Imm)
@@ -199,6 +257,7 @@ func (m *Machine) Step(ctx *Context) Event {
 			return Event{Kind: EventFault, Fault: f}
 		}
 		m.Stats.Stores++
+		m.coherent(addr, true)
 		m.writeBuffer()
 		// A store ends an i860 hardware restartable sequence.
 		ctx.LockActive = false
@@ -249,6 +308,41 @@ func (m *Machine) Step(ctx *Context) Event {
 		}
 		set(inst.Rt, old)
 		m.Stats.Interlocked++
+		m.coherent(addr, true)
+
+	case isa.OpLL:
+		if !m.Profile.HasLLSC {
+			return m.illegal(ctx)
+		}
+		addr := reg(inst.Rs) + isa.Word(inst.Imm)
+		v, f := m.Mem.LoadWord(addr)
+		if f != nil {
+			return Event{Kind: EventFault, Fault: f}
+		}
+		set(inst.Rt, v)
+		m.Stats.Loads++
+		m.resValid, m.resAddr = true, addr
+		m.coherent(addr, false)
+
+	case isa.OpSC:
+		if !m.Profile.HasLLSC {
+			return m.illegal(ctx)
+		}
+		addr := reg(inst.Rs) + isa.Word(inst.Imm)
+		if m.resValid && m.resAddr == addr {
+			if f := m.Mem.StoreWord(addr, reg(inst.Rt)); f != nil {
+				return Event{Kind: EventFault, Fault: f}
+			}
+			m.Stats.Stores++
+			set(inst.Rt, 1)
+			m.coherent(addr, true)
+			m.writeBuffer()
+			// Like sw, a successful sc ends an i860 sequence.
+			ctx.LockActive = false
+		} else {
+			set(inst.Rt, 0)
+		}
+		m.resValid = false
 
 	case isa.OpLOCKB:
 		if !m.Profile.HasLockBit {

@@ -62,7 +62,10 @@ type MachineImage struct {
 	ProfileName string
 	Stats       Stats
 	WB          []uint64
-	Mem         *MemoryImage
+	// ll/sc reservation state (per-CPU, so per-machine).
+	ResValid bool
+	ResAddr  uint32
+	Mem      *MemoryImage
 }
 
 // Capture snapshots the machine.
@@ -71,6 +74,8 @@ func (m *Machine) Capture() *MachineImage {
 		ProfileName: m.Profile.Name,
 		Stats:       m.Stats,
 		WB:          append([]uint64(nil), m.wb...),
+		ResValid:    m.resValid,
+		ResAddr:     m.resAddr,
 		Mem:         m.Mem.Capture(),
 	}
 }
@@ -85,6 +90,8 @@ func (m *Machine) Restore(img *MachineImage) error {
 	}
 	m.Stats = img.Stats
 	m.wb = append([]uint64(nil), img.WB...)
+	m.resValid = img.ResValid
+	m.resAddr = img.ResAddr
 	m.Mem.Restore(img.Mem)
 	return nil
 }
