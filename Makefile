@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos recovery smp examples fuzz fmt lint vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery smp examples check fuzz fmt lint vet clean tier1
 
 all: build vet test
 
@@ -53,8 +53,16 @@ examples:
 	$(GO) run ./examples/waitfree
 	$(GO) run ./examples/rseq
 
+# Schedule-space model checking: the canned rascheck suite exhaustively
+# verifies the paper's sequences (and catches the planted defects) across
+# all three substrates. Counterexamples land in mcheck-out/ as replayable
+# .sched files (rasvm -replay-sched, rascheck -replay).
+check:
+	$(GO) run ./cmd/rascheck -suite -out mcheck-out
+
 fuzz:
 	$(GO) test -fuzz=FuzzAssemble -fuzztime=30s ./internal/asm/
+	$(GO) test -fuzz=FuzzAsm -fuzztime=30s ./internal/asm/
 	$(GO) test -fuzz=FuzzDecode -fuzztime=30s ./internal/asm/
 	$(GO) test -fuzz=FuzzRecognizer -fuzztime=30s ./internal/vmach/kernel/
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/vmach/kernel/

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code = run(args, &out, &errw)
+	return code, out.String(), errw.String()
+}
+
+func TestList(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"counter", "broken2store", "smp-counter", "uni-rme"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplorePass(t *testing.T) {
+	code, out, errw := runCLI(t,
+		"-model", "counter", "-params", "mech=registered", "-out", t.TempDir())
+	if code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out, errw)
+	}
+	if !strings.Contains(out, "exhaustive") {
+		t.Errorf("no report line:\n%s", out)
+	}
+}
+
+// A violation run writes the .sched artifact, prints the replay command,
+// and — with -expect violation — exits 0; the artifact then replays.
+func TestExploreViolationArtifactAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "report.json")
+	code, out, errw := runCLI(t,
+		"-model", "broken2store", "-max-decisions", "1",
+		"-expect", "violation", "-out", dir, "-json", jsonPath)
+	if code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out, errw)
+	}
+	sched := filepath.Join(dir, "broken2store.sched")
+	if _, err := os.Stat(sched); err != nil {
+		t.Fatalf("no .sched artifact: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "replay: rascheck -replay") {
+		t.Errorf("no replay command printed:\n%s", out)
+	}
+	if data, err := os.ReadFile(jsonPath); err != nil || !strings.Contains(string(data), "broken2store") {
+		t.Errorf("JSON report missing or wrong: %v", err)
+	}
+
+	trace := filepath.Join(dir, "replay.json")
+	code, out, errw = runCLI(t,
+		"-replay", sched, "-expect", "violation", "-trace-out", trace)
+	if code != 0 {
+		t.Fatalf("replay exit %d\n%s%s", code, out, errw)
+	}
+	if !strings.Contains(out, "violation:") {
+		t.Errorf("replay reproduced nothing:\n%s", out)
+	}
+	if data, err := os.ReadFile(trace); err != nil || !strings.Contains(string(data), "traceEvents") {
+		t.Errorf("Chrome trace missing or malformed: %v", err)
+	}
+}
+
+// An unexpected outcome exits 1 and prints the one-line repro.
+func TestExploreUnexpectedOutcome(t *testing.T) {
+	code, _, errw := runCLI(t,
+		"-model", "broken2store", "-max-decisions", "1", "-out", t.TempDir())
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errw, "repro: rascheck -model broken2store") {
+		t.Errorf("no repro line:\n%s", errw)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-model", "no-such-model"},
+		{"-model", "counter", "-params", "nonsense"},
+		{"-model", "counter", "-params", "mech=registered", "-mode", "psychic"},
+		{"-replay", "/does/not/exist.sched"},
+	} {
+		if code, _, _ := runCLI(t, args...); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}
+
+// The full canned suite matches every expectation. This is the
+// acceptance run: Figure-3/5 exhaustively clean, the hybrid lock clean
+// at 2 CPUs, and the planted defects all caught.
+func TestSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite re-runs the slow smp walks; covered by internal/mcheck in short mode")
+	}
+	code, out, errw := runCLI(t, "-suite", "-out", t.TempDir())
+	if code != 0 {
+		t.Fatalf("exit %d\n%s%s", code, out, errw)
+	}
+	if !strings.Contains(out, "suite: all checks matched expectations") {
+		t.Errorf("no final verdict:\n%s", out)
+	}
+	if n := strings.Count(out, "ok  "); n < 12 {
+		t.Errorf("only %d suite entries ran", n)
+	}
+}

@@ -9,6 +9,8 @@
 //	rasvm -demo recoverable -kill-at 5000,9000       # orphan + repair
 //	rasvm -demo counter -crash-at 8000 -checkpoint ck.bin
 //	rasvm -restore ck.bin                            # replay the rest
+//	rasvm -replay-sched cex.sched -trace-out t.json  # re-run a rascheck
+//	                                                 # counterexample
 //
 // The -demo flag runs a built-in workload instead of a source file:
 // "counter" is the shared-counter mutual exclusion workload; "recoverable"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/chaos"
 	"repro/internal/guest"
+	"repro/internal/mcheck"
 	"repro/internal/obs"
 	"repro/internal/vmach/kernel"
 )
@@ -58,6 +61,7 @@ type options struct {
 	checkpoint              string // snapshot file to write
 	checkpointAt            uint64 // step to checkpoint at (0 = only at crash)
 	restore                 string // snapshot file to resume from
+	replaySched             string // mcheck .sched counterexample to re-execute
 	traceOut                string // Chrome trace-event JSON destination ("-" = stdout)
 	metrics                 string // metrics dump destination ("-" = stdout)
 	profTop                 int    // top-N cycle profile report (0 = off)
@@ -91,6 +95,7 @@ func main() {
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "write a binary machine snapshot to this file (at -checkpoint-at, or where a crash struck)")
 	flag.Uint64Var(&o.checkpointAt, "checkpoint-at", 0, "retired-instruction step to checkpoint at (0 = only at crash)")
 	flag.StringVar(&o.restore, "restore", "", "resume from a snapshot file instead of loading a program")
+	flag.StringVar(&o.replaySched, "replay-sched", "", "re-execute an mcheck .sched counterexample (rascheck output) and report its violations")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of the run (\"-\" = stdout; load in Perfetto)")
 	flag.StringVar(&o.metrics, "metrics", "", "write a plain-text metrics dump derived from the event stream (\"-\" = stdout)")
 	flag.IntVar(&o.profTop, "profile", 0, "print the top-N symbols of the cycle-attributed profile (0 disables)")
@@ -114,6 +119,9 @@ func main() {
 }
 
 func run(o options) error {
+	if o.replaySched != "" {
+		return runReplaySched(o)
+	}
 	if o.demo == "smp" {
 		return runSMP(o)
 	}
@@ -324,6 +332,59 @@ func run(o options) error {
 		}
 	}
 	return runErr
+}
+
+// runReplaySched re-executes a model-checker counterexample: the .sched
+// file names the model and its forced decisions, so the run is exact —
+// the same violation the checker found, now with the full observability
+// stack attached (-trace-out for a Chrome trace of the failing
+// interleaving).
+func runReplaySched(o options) error {
+	s, err := mcheck.ReadFile(o.replaySched)
+	if err != nil {
+		return err
+	}
+	m, err := mcheck.BuildSchedule(s)
+	if err != nil {
+		return err
+	}
+	opt := mcheck.Options{}
+	var capture *obs.Capture
+	if o.traceOut != "" {
+		capture = &obs.Capture{}
+		opt.Tracer = capture
+	}
+	vio, err := mcheck.RunOnce(m, s.Decisions, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule:      %s\n", o.replaySched)
+	fmt.Printf("model:         %s [%s]\n", s.Model, s.ParamString())
+	for _, d := range s.Decisions {
+		fmt.Printf("decision:      %s at ordinal %d\n", d.Act, d.At)
+	}
+	if s.Note != "" {
+		fmt.Printf("note:          %s\n", s.Note)
+	}
+	for _, v := range vio {
+		fmt.Printf("violation:     %v\n", v)
+	}
+	if len(vio) == 0 {
+		fmt.Printf("violations:    none reproduced\n")
+	}
+	if capture != nil {
+		data, err := obs.ChromeTrace(capture.Events())
+		if err != nil {
+			return err
+		}
+		if err := writeOut(o.traceOut, data); err != nil {
+			return err
+		}
+		if o.traceOut != "-" {
+			fmt.Printf("trace:         %s (%d events; load in Perfetto)\n", o.traceOut, capture.Len())
+		}
+	}
+	return nil
 }
 
 // writeOut writes data to path, with "-" meaning stdout.

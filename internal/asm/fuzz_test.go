@@ -51,6 +51,44 @@ func FuzzAssemble(f *testing.F) {
 	})
 }
 
+// FuzzAsm: assembler/disassembler round trip at the word level. Any word
+// whose decoded form prints as real syntax (no "?" placeholders) must
+// reassemble, and the assembled word must print back to the same text —
+// a fixpoint that pins String() and the assembler's operand grammar to
+// each other. Bit-for-bit equality is deliberately not required: String()
+// rightly omits don't-care fields (e.g. junk shamt bits on a non-shift
+// ALU op), so such words converge to the canonical encoding instead.
+func FuzzAsm(f *testing.F) {
+	f.Add(uint32(0)) // nop
+	f.Add(isa.Encode(isa.Lw(isa.RegV0, isa.RegS1, -4)))
+	f.Add(isa.Encode(isa.Sw(isa.RegT0, isa.RegS1, 0)))
+	f.Add(isa.Encode(isa.Bne(isa.RegV0, isa.RegZero, 3)))
+	f.Add(isa.Encode(isa.Ori(isa.RegT0, isa.RegZero, 1)))
+	f.Add(isa.Encode(isa.Landmark()))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpJ, Targ: 0x400}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpBEQ, Rs: 8, Rt: 9, Imm: -2}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpLUI, Rt: 8, Uimm: 0x1234}))
+	f.Add(isa.Encode(isa.Inst{Op: isa.OpSpecial, Funct: isa.FnJALR, Rd: 31, Rs: 8}))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		inst := isa.Decode(w)
+		text := inst.String()
+		if strings.Contains(text, "?") {
+			return // not an encodable instruction; String says so
+		}
+		p, err := Assemble("\t" + text + "\n")
+		if err != nil {
+			t.Fatalf("%#x prints as %q which does not assemble: %v", w, text, err)
+		}
+		if len(p.Text) != 1 {
+			t.Fatalf("%q assembled to %d words", text, len(p.Text))
+		}
+		if back := isa.Decode(p.Text[0]).String(); back != text {
+			t.Fatalf("%#x prints as %q but its assembly %#x prints as %q",
+				w, text, p.Text[0], back)
+		}
+	})
+}
+
 // FuzzDecode: decoding any 32-bit word must not panic, and defined opcodes
 // must round trip through Encode.
 func FuzzDecode(f *testing.F) {

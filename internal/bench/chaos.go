@@ -38,6 +38,14 @@ func DefaultChaosConfig() ChaosConfig {
 	}
 }
 
+// tableRepro is the copy-paste command that re-runs a bench table with
+// the configuration that just failed. Deterministic scenarios need
+// nothing beyond the table and seed; plan-driven sweeps use the richer
+// chaos.Plan.Repro instead.
+func tableRepro(table string, seed uint64) string {
+	return fmt.Sprintf("go run ./cmd/rasbench -table %s -seed %#x", table, seed)
+}
+
 // ChaosRow is one scenario outcome of the chaos table.
 type ChaosRow struct {
 	Scenario string
@@ -117,7 +125,7 @@ func TableChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 			guest.MechDesignated, 3, ChaosConfig{Workers: 1, Iters: 1, MaxCycles: cfg.MaxCycles},
 			nil, chaos.Watchdog{Policy: chaos.WatchdogAbort, MaxRestarts: 40})
 		if !errors.Is(err, kernel.ErrLivelock) {
-			return nil, fmt.Errorf("vmach/livelock-abort: watchdog missed the §3.1 livelock: %v", err)
+			return nil, fmt.Errorf("vmach/livelock-abort: watchdog missed the §3.1 livelock: %v (repro: %s)", err, tableRepro("chaos", cfg.Seed))
 		}
 		rows = append(rows, ChaosRow{
 			Scenario: "vmach/livelock-abort", Restarts: k.Stats.Restarts,
@@ -129,13 +137,13 @@ func TableChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 			guest.MechDesignated, 3, ChaosConfig{Workers: 1, Iters: 5, MaxCycles: cfg.MaxCycles},
 			nil, chaos.Watchdog{Policy: chaos.WatchdogExtend, MaxRestarts: 12})
 		if err != nil {
-			return nil, fmt.Errorf("vmach/livelock-extend: %v", err)
+			return nil, fmt.Errorf("vmach/livelock-extend: %v (repro: %s)", err, tableRepro("chaos", cfg.Seed))
 		}
 		if got := k.M.Mem.Peek(counterAddr); got != want {
-			return nil, fmt.Errorf("vmach/livelock-extend: counter %d, want %d", got, want)
+			return nil, fmt.Errorf("vmach/livelock-extend: counter %d, want %d (repro: %s)", got, want, tableRepro("chaos", cfg.Seed))
 		}
 		if k.Stats.WatchdogExtends == 0 {
-			return nil, errors.New("vmach/livelock-extend: no extension granted")
+			return nil, fmt.Errorf("vmach/livelock-extend: no extension granted (repro: %s)", tableRepro("chaos", cfg.Seed))
 		}
 		rows = append(rows, ChaosRow{
 			Scenario: "vmach/livelock-extend", Restarts: k.Stats.Restarts,
@@ -172,13 +180,13 @@ func TableChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 		d.OpRestartLimit = 8
 		proc, counter, err := uniprocChaosRun(cfg, d, 2, nil, chaos.Watchdog{})
 		if err != nil {
-			return nil, fmt.Errorf("uniproc/degrading: %v", err)
+			return nil, fmt.Errorf("uniproc/degrading: %v (repro: %s)", err, tableRepro("chaos", cfg.Seed))
 		}
 		if counter != core.Word(cfg.Workers*cfg.Iters) {
-			return nil, fmt.Errorf("uniproc/degrading: counter %d, want %d", counter, cfg.Workers*cfg.Iters)
+			return nil, fmt.Errorf("uniproc/degrading: counter %d, want %d (repro: %s)", counter, cfg.Workers*cfg.Iters, tableRepro("chaos", cfg.Seed))
 		}
 		if !d.Demoted() {
-			return nil, errors.New("uniproc/degrading: pathological sequence was not demoted")
+			return nil, fmt.Errorf("uniproc/degrading: pathological sequence was not demoted (repro: %s)", tableRepro("chaos", cfg.Seed))
 		}
 		rows = append(rows, ChaosRow{
 			Scenario: "uniproc/degrading", Restarts: proc.Stats.Restarts,
@@ -190,7 +198,7 @@ func TableChaos(cfg ChaosConfig) ([]ChaosRow, error) {
 	{
 		n, err := chaosMutantSweep(cfg.Seed, 200)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%v (repro: %s)", err, tableRepro("chaos", cfg.Seed))
 		}
 		rows = append(rows, ChaosRow{
 			Scenario: "recognizer/mutants", Seed: cfg.Seed,

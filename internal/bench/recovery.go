@@ -192,7 +192,7 @@ func TableRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 		}
 		ref, _, _, _, err := run(nil)
 		if err != nil {
-			return nil, fmt.Errorf("uniproc/kill-sweep: reference: %v", err)
+			return nil, fmt.Errorf("uniproc/kill-sweep: reference: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 		}
 		span := ref.MemOps()
 		schedules := 2 * cfg.Schedules
@@ -206,18 +206,18 @@ func TableRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 			}
 			p, m, counter, gocount, err := run(chaos.Compose(shots...))
 			if err != nil {
-				return nil, fmt.Errorf("uniproc/kill-sweep: schedule %d (seed %#x): %v", s, cfg.Seed, err)
+				return nil, fmt.Errorf("uniproc/kill-sweep: schedule %d (seed %#x): %v (repro: %s)", s, cfg.Seed, err, tableRepro("recovery", cfg.Seed))
 			}
 			if v := m.Checker.Violations(); len(v) != 0 {
-				return nil, fmt.Errorf("uniproc/kill-sweep: schedule %d (seed %#x): %s", s, cfg.Seed, v[0])
+				return nil, fmt.Errorf("uniproc/kill-sweep: schedule %d (seed %#x): %s (repro: %s)", s, cfg.Seed, v[0], tableRepro("recovery", cfg.Seed))
 			}
 			if uint64(counter) != gocount {
-				return nil, fmt.Errorf("uniproc/kill-sweep: schedule %d (seed %#x): counter=%d shadow=%d",
-					s, cfg.Seed, counter, gocount)
+				return nil, fmt.Errorf("uniproc/kill-sweep: schedule %d (seed %#x): counter=%d shadow=%d (repro: %s)",
+					s, cfg.Seed, counter, gocount, tableRepro("recovery", cfg.Seed))
 			}
 			for _, th := range p.Threads() {
 				if !th.Done() {
-					return nil, fmt.Errorf("uniproc/kill-sweep: schedule %d (seed %#x): stuck acquirer %v", s, cfg.Seed, th)
+					return nil, fmt.Errorf("uniproc/kill-sweep: schedule %d (seed %#x): stuck acquirer %v (repro: %s)", s, cfg.Seed, th, tableRepro("recovery", cfg.Seed))
 				}
 			}
 			kills += p.Stats.Kills
@@ -242,7 +242,7 @@ func TableRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 		}
 		ref := mk(chaos.NewKillPlan(cfg.Seed, 0)) // injects nothing, counts steps
 		if err := ref.verify(ref.k.Run()); err != nil {
-			return nil, fmt.Errorf("%s: reference: %v", name, err)
+			return nil, fmt.Errorf("%s: reference: %v (repro: %s)", name, err, tableRepro("recovery", cfg.Seed))
 		}
 		span := ref.k.Steps()
 		var kills, repairs uint64
@@ -255,7 +255,7 @@ func TableRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 			}
 			w := mk(chaos.Compose(shots...))
 			if err := w.verify(w.k.Run()); err != nil {
-				return nil, fmt.Errorf("%s: schedule %d (seed %#x): %v", name, s, cfg.Seed, err)
+				return nil, fmt.Errorf("%s: schedule %d (seed %#x): %v (repro: %s)", name, s, cfg.Seed, err, tableRepro("recovery", cfg.Seed))
 			}
 			kills += w.k.Stats.Kills
 			repairs += w.steals
@@ -271,7 +271,7 @@ func TableRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 		ref := newRMEWatch(kernel.Config{Strategy: &kernel.Registration{}, Quantum: 250, MaxCycles: cfg.MaxCycles},
 			cfg.Workers, cfg.Iters)
 		if err := ref.verify(ref.k.Run()); err != nil {
-			return nil, fmt.Errorf("vmach/checkpoint-replay: reference: %v", err)
+			return nil, fmt.Errorf("vmach/checkpoint-replay: reference: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 		}
 		total := ref.k.M.Stats.Instructions
 		cuts := 0
@@ -280,25 +280,25 @@ func TableRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 			w := newRMEWatch(kernel.Config{Strategy: &kernel.Registration{}, Quantum: 250, MaxCycles: cfg.MaxCycles},
 				cfg.Workers, cfg.Iters)
 			if fin, err := w.k.RunSteps(cut); fin {
-				return nil, fmt.Errorf("vmach/checkpoint-replay: cut %d finished early (%v)", cut, err)
+				return nil, fmt.Errorf("vmach/checkpoint-replay: cut %d finished early (%v) (repro: %s)", cut, err, tableRepro("recovery", cfg.Seed))
 			}
 			enc := w.k.Capture().Encode()
 			snap, err := kernel.DecodeSnapshot(enc)
 			if err != nil {
-				return nil, fmt.Errorf("vmach/checkpoint-replay: decode: %v", err)
+				return nil, fmt.Errorf("vmach/checkpoint-replay: decode: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 			}
 			if !bytes.Equal(enc, snap.Encode()) {
-				return nil, errors.New("vmach/checkpoint-replay: re-encoding not bit-identical")
+				return nil, fmt.Errorf("vmach/checkpoint-replay: re-encoding not bit-identical (repro: %s)", tableRepro("recovery", cfg.Seed))
 			}
 			k2, err := kernel.Restore(kernel.Config{Strategy: &kernel.Registration{}, Quantum: 250, MaxCycles: cfg.MaxCycles}, snap)
 			if err != nil {
-				return nil, fmt.Errorf("vmach/checkpoint-replay: restore: %v", err)
+				return nil, fmt.Errorf("vmach/checkpoint-replay: restore: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 			}
 			if err := k2.Run(); err != nil {
-				return nil, fmt.Errorf("vmach/checkpoint-replay: replay: %v", err)
+				return nil, fmt.Errorf("vmach/checkpoint-replay: replay: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 			}
 			if k2.Stats != ref.k.Stats || k2.M.Stats != ref.k.M.Stats {
-				return nil, fmt.Errorf("vmach/checkpoint-replay: cut %d diverged from the straight run", cut)
+				return nil, fmt.Errorf("vmach/checkpoint-replay: cut %d diverged from the straight run (repro: %s)", cut, tableRepro("recovery", cfg.Seed))
 			}
 			cuts++
 		}
@@ -314,7 +314,7 @@ func TableRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 		}
 		ref := newRMEWatch(mkCfg(chaos.NewKillPlan(cfg.Seed, 0)), cfg.Workers, cfg.Iters)
 		if err := ref.verify(ref.k.Run()); err != nil {
-			return nil, fmt.Errorf("vmach/crash-restore: reference: %v", err)
+			return nil, fmt.Errorf("vmach/crash-restore: reference: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 		}
 		span := ref.k.Steps()
 		for c := 0; c < cfg.Crashes; c++ {
@@ -322,25 +322,25 @@ func TableRecovery(cfg RecoveryConfig) ([]RecoveryRow, error) {
 			w := newRMEWatch(mkCfg(chaos.OneShot{Point: chaos.PointStep, N: at, Action: chaos.Action{Crash: true}}),
 				cfg.Workers, cfg.Iters)
 			if err := w.k.Run(); !errors.Is(err, kernel.ErrMachineCrash) {
-				return nil, fmt.Errorf("vmach/crash-restore: crash %d at step %d: run = %v", c, at, err)
+				return nil, fmt.Errorf("vmach/crash-restore: crash %d at step %d: run = %v (repro: %s)", c, at, err, tableRepro("recovery", cfg.Seed))
 			}
 			snap, err := kernel.DecodeSnapshot(w.k.Capture().Encode())
 			if err != nil {
-				return nil, fmt.Errorf("vmach/crash-restore: decode: %v", err)
+				return nil, fmt.Errorf("vmach/crash-restore: decode: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 			}
 			k2, err := kernel.Restore(mkCfg(nil), snap)
 			if err != nil {
-				return nil, fmt.Errorf("vmach/crash-restore: restore: %v", err)
+				return nil, fmt.Errorf("vmach/crash-restore: restore: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 			}
 			if err := k2.Run(); err != nil {
-				return nil, fmt.Errorf("vmach/crash-restore: replay: %v", err)
+				return nil, fmt.Errorf("vmach/crash-restore: replay: %v (repro: %s)", err, tableRepro("recovery", cfg.Seed))
 			}
 			// The crash injection itself is the only accounting difference
 			// from the uncrashed reference.
 			s2, sr := k2.Stats, ref.k.Stats
 			s2.Injected, sr.Injected = 0, 0
 			if s2 != sr || k2.M.Stats != ref.k.M.Stats {
-				return nil, fmt.Errorf("vmach/crash-restore: crash %d at step %d: replay diverged", c, at)
+				return nil, fmt.Errorf("vmach/crash-restore: crash %d at step %d: replay diverged (repro: %s)", c, at, tableRepro("recovery", cfg.Seed))
 			}
 		}
 		rows = append(rows, RecoveryRow{

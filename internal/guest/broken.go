@@ -1,0 +1,40 @@
+package guest
+
+// BrokenTwoStoreProgram is a deliberately malformed restartable atomic
+// sequence: the counter increment commits at the FIRST of two stores, so
+// a suspension between them rolls the PC back past an already-visible
+// update and the increment is applied twice. It is the canonical
+// violation of the paper's §3 rule that a sequence ends with its single
+// committing store — exactly what kernel.VerifySequence rejects at
+// registration time, which is why the model-checker harness installs the
+// range through the MultiRegistration backdoor instead: the static check
+// is bypassed on purpose so the dynamic checker has something to catch.
+//
+// Workers enter at symbol "worker" with a0 = iterations; the restartable
+// range is [bad_seq, bad_end); the shared counter is at symbol "counter"
+// and must end at (workers × iterations) — a run that restarts inside the
+// range overshoots it.
+func BrokenTwoStoreProgram() string {
+	return `	.text
+worker:                         # a0 = iterations
+	move s0, a0
+	la   s1, counter
+	la   s2, scratch
+wloop:
+bad_seq:
+	lw   t1, 0(s1)          # read
+	addi t1, t1, 1          # modify
+	sw   t1, 0(s1)          # store #1: the increment is visible HERE
+	sw   t1, 0(s2)          # store #2: rollback past store #1 re-applies it
+bad_end:
+	addi s0, s0, -1
+	bne  s0, zero, wloop
+	li   v0, 0              # SysExit
+	move a0, zero
+	syscall
+
+	.data
+counter: .word 0
+scratch: .word 0
+`
+}

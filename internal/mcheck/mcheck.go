@@ -1,0 +1,218 @@
+// Package mcheck is a schedule-space model checker for the repository's
+// deterministic substrates: the ISA-level kernel (internal/vmach), the
+// multi-CPU system (internal/vmach/smp), and the primitive-op virtual
+// uniprocessor (internal/uniproc).
+//
+// The paper's correctness claim — a restartable atomic sequence "is
+// eventually executed without interleaving" (§3) — was so far tested by
+// seeded chaos sweeps, which sample the schedule space. This package
+// covers it: a schedule is a short list of forced scheduling decisions
+// (preempt this instruction, kill this thread, switch CPUs here), each
+// pinned to a deterministic event ordinal, and the checker enumerates
+// schedules either exhaustively (bounded DFS with state-hash pruning over
+// the canonical checkpoint encoding) or randomly (seeded, replayable).
+// Invariant checkers — mutual exclusion via memory watchpoints, lost
+// updates, deadlock, restart-livelock, recoverable-mutex repair — watch
+// every run; a failing schedule is shrunk to a minimal counterexample and
+// serialized as a .sched file that rasvm -replay-sched and rascheck
+// -replay re-execute deterministically.
+package mcheck
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
+)
+
+// Action is one kind of forced scheduling decision.
+type Action int
+
+const (
+	// ActPreempt forces an involuntary preemption at the decision's
+	// ordinal — the vmach/uniproc interleaving primitive.
+	ActPreempt Action = iota
+	// ActKill kills the currently running thread at the ordinal.
+	ActKill
+	// ActCrash halts the whole machine at the ordinal.
+	ActCrash
+	// ActSwitch hands the interleaving to the next CPU at the ordinal —
+	// the smp primitive (meaningless on single-CPU substrates).
+	ActSwitch
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActPreempt:
+		return "preempt"
+	case ActKill:
+		return "kill"
+	case ActCrash:
+		return "crash"
+	case ActSwitch:
+		return "switch"
+	}
+	return "?"
+}
+
+// ParseAction inverts Action.String.
+func ParseAction(s string) (Action, error) {
+	switch s {
+	case "preempt":
+		return ActPreempt, nil
+	case "kill":
+		return ActKill, nil
+	case "crash":
+		return ActCrash, nil
+	case "switch":
+		return ActSwitch, nil
+	}
+	return 0, fmt.Errorf("mcheck: unknown action %q", s)
+}
+
+// Decision pins one action to a deterministic event ordinal. Ordinals
+// count the substrate's preemption points: retired instructions on vmach
+// (kernel.Steps), scheduler steps across all CPUs on smp, memory
+// operations on uniproc. Ordinal 1 is the first point; a decision fires
+// when the count reaches At.
+type Decision struct {
+	At  uint64
+	Act Action
+}
+
+// Schedule is a complete, self-describing experiment: which model to
+// build, with which parameters, and the decisions to force. Decisions are
+// kept sorted by ordinal, at most one per ordinal.
+type Schedule struct {
+	Model     string
+	Params    map[string]string
+	Decisions []Decision
+	Note      string
+}
+
+// Clone deep-copies the schedule.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{Model: s.Model, Note: s.Note, Params: map[string]string{}}
+	for k, v := range s.Params {
+		c.Params[k] = v
+	}
+	c.Decisions = append([]Decision(nil), s.Decisions...)
+	return c
+}
+
+// Injector renders the preempt/kill/crash decisions as a chaos injector
+// at the given instrumentation point — the bridge that makes every
+// counterexample a chaos plan: what the checker found, the chaos kernel
+// re-executes.
+func (s *Schedule) Injector(point chaos.Point) chaos.Injector {
+	return newInjector(point, s.Decisions)
+}
+
+// injector is the schedule-driven chaos.Injector: a fixed map from event
+// ordinal to action at one instrumentation point. It also serves as the
+// always-installed null injector (an empty map) that keeps the substrate
+// counting ordinals.
+type injector struct {
+	point chaos.Point
+	acts  map[uint64]chaos.Action
+}
+
+func newInjector(point chaos.Point, ds []Decision) *injector {
+	in := &injector{point: point, acts: map[uint64]chaos.Action{}}
+	for _, d := range ds {
+		a := in.acts[d.At]
+		switch d.Act {
+		case ActPreempt:
+			a.Preempt = true
+		case ActKill:
+			a.Kill = true
+		case ActCrash:
+			a.Crash = true
+		}
+		in.acts[d.At] = a
+	}
+	return in
+}
+
+func (in *injector) At(p chaos.Point, n uint64) chaos.Action {
+	if p != in.point {
+		return chaos.Action{}
+	}
+	return in.acts[n]
+}
+
+// Violation is one invariant breach, recorded where it happened.
+type Violation struct {
+	// Kind names the checker: mutual-exclusion, lost-update,
+	// counter-exact, deadlock, restart-livelock, budget, lock-discipline,
+	// rme, stuck, crash.
+	Kind string
+	Msg  string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Msg }
+
+// violations accumulates breaches with a cap (a broken run can breach on
+// every store; the first few carry all the signal).
+type violations struct {
+	list []Violation
+}
+
+func (v *violations) add(kind, format string, args ...any) {
+	if len(v.list) < 16 {
+		v.list = append(v.list, Violation{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Options is harness wiring threaded into every instance a model builds.
+type Options struct {
+	// Tracer, when non-nil, receives the substrate's event stream —
+	// replaying a counterexample with an obs.Bus attached yields the
+	// Chrome trace of the failing interleaving.
+	Tracer obs.Sink
+}
+
+// Instance is one run of a model under one schedule.
+type Instance interface {
+	// RunTo advances until the decision ordinal `at` has fired (cursor
+	// == at) or the run ended, whichever is first. Only meaningful on
+	// pausable models.
+	RunTo(at uint64) (done bool)
+	// RunToEnd drives the run to completion and applies the model's
+	// end-state invariants (exactly once).
+	RunToEnd()
+	// Cursor is the current event ordinal.
+	Cursor() uint64
+	// StateHash returns the canonical hash of the paused state for DFS
+	// pruning; ok is false when the model cannot hash (not pausable).
+	StateHash() (h [32]byte, ok bool)
+	// Violations reports every invariant breach recorded so far.
+	Violations() []Violation
+}
+
+// Model builds instances for one (substrate, workload) pair.
+type Model interface {
+	// Name is the registry key ("counter", "smp-counter", ...).
+	Name() string
+	// Params are the resolved parameters, defaults filled in.
+	Params() map[string]string
+	// Primary is the action the explorers place at enumerated ordinals.
+	Primary() Action
+	// Pausable reports whether instances support mid-run pause and
+	// hashing (false for uniproc, whose runtime runs whole schedules).
+	Pausable() bool
+	// New builds an instance that will force the given decisions.
+	New(ds []Decision, opt Options) (Instance, error)
+}
+
+// RunOnce builds an instance for ds, runs it to completion, and reports
+// its violations — the primitive the shrinker, the replayers, and the
+// random explorer share.
+func RunOnce(m Model, ds []Decision, opt Options) ([]Violation, error) {
+	in, err := m.New(ds, opt)
+	if err != nil {
+		return nil, err
+	}
+	in.RunToEnd()
+	return in.Violations(), nil
+}

@@ -1,0 +1,111 @@
+package mcheck
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// The model registry. A model name plus a parameter map fully determines
+// a checkable system, which is what lets a .sched file rebuild the exact
+// run that failed.
+
+type modelEntry struct {
+	defaults map[string]string
+	build    func(p map[string]string) (Model, error)
+	doc      string
+}
+
+var registry = map[string]modelEntry{
+	"counter": {
+		defaults: map[string]string{"mech": "registered", "workers": "2", "iters": "1"},
+		build:    counterModel,
+		doc:      "vmach lock/counter workload; mech=registered|designated|none",
+	},
+	"broken2store": {
+		defaults: map[string]string{"workers": "2", "iters": "1"},
+		build:    broken2storeModel,
+		doc:      "vmach two-store RAS installed past the verifier; the checker must catch it",
+	},
+	"recoverable": {
+		defaults: map[string]string{"workers": "2", "iters": "1", "strategy": "registration"},
+		build:    recoverableModel,
+		doc:      "vmach owner+epoch recoverable lock under forced kills",
+	},
+	"smp-counter": {
+		defaults: map[string]string{"lock": "hybrid", "cpus": "2", "iters": "1"},
+		build:    smpCounterModel,
+		doc:      "smp contended counter; lock=hybrid|spinlock|llsc|ras-only",
+	},
+	"uni-counter": {
+		defaults: map[string]string{"sync": "ras", "workers": "2", "iters": "1"},
+		build:    uniCounterModel,
+		doc:      "uniproc counter; sync=ras|none",
+	},
+	"uni-rme": {
+		defaults: map[string]string{"workers": "2", "iters": "2"},
+		build:    uniRMEModel,
+		doc:      "uniproc core.RecoverableMutex under forced kills",
+	},
+}
+
+// Models lists the registered model names, sorted, with one-line docs.
+func Models() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ModelDoc returns the one-line description of a model.
+func ModelDoc(name string) string { return registry[name].doc }
+
+// ModelDefaults returns a model's default parameters as a k=v,k=v string.
+func ModelDefaults(name string) string {
+	return (&Schedule{Params: registry[name].defaults}).ParamString()
+}
+
+// BuildModel resolves a model name and parameter overrides into a Model.
+// Unknown names and unknown parameter keys are errors: a .sched file that
+// drifts from the registry must fail loudly, not silently check something
+// else.
+func BuildModel(name string, over map[string]string) (Model, error) {
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("mcheck: unknown model %q (have %v)", name, Models())
+	}
+	p := map[string]string{}
+	for k, v := range e.defaults {
+		p[k] = v
+	}
+	for k, v := range over {
+		if _, ok := e.defaults[k]; !ok {
+			return nil, fmt.Errorf("mcheck: model %s has no parameter %q", name, k)
+		}
+		p[k] = v
+	}
+	return e.build(p)
+}
+
+// BuildSchedule rebuilds the model a parsed schedule names.
+func BuildSchedule(s *Schedule) (Model, error) {
+	return BuildModel(s.Model, s.Params)
+}
+
+func paramInt(p map[string]string, key string) (int, error) {
+	n, err := strconv.Atoi(p[key])
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("mcheck: parameter %s=%q must be a positive integer", key, p[key])
+	}
+	return n, nil
+}
+
+func workerIters(p map[string]string) (workers, iters int, err error) {
+	if workers, err = paramInt(p, "workers"); err != nil {
+		return
+	}
+	iters, err = paramInt(p, "iters")
+	return
+}

@@ -1,0 +1,82 @@
+package mcheck
+
+// The shrinker. A counterexample straight out of the explorer carries
+// whatever prefix the walk happened to be on; what a human wants is the
+// minimal interleaving that still breaks the invariant. Two greedy
+// passes, both preserving "still fails" at every step, reach a local
+// minimum that is in practice the canonical counterexample:
+//
+//  1. delta pass — drop decisions one at a time, restarting after every
+//     success, until no single removal still fails;
+//  2. lowering pass — move each surviving decision to the earliest
+//     ordinal (respecting the sort order) at which the schedule still
+//     fails, so the counterexample points at the first vulnerable
+//     instruction rather than an arbitrary later one.
+//
+// Determinism of the substrates makes each probe exact: a candidate
+// either fails or it does not, no flakiness budget needed.
+
+// shrinkProbes caps the total candidate runs so a pathological schedule
+// cannot stall the checker; runs are cheap, the cap is generous.
+const shrinkProbes = 4000
+
+// Shrink minimizes a failing schedule. It returns the minimized schedule
+// and the violations of its final failing run. The input schedule is not
+// modified.
+func Shrink(m Model, s *Schedule, opt Options) (*Schedule, []Violation) {
+	probes := 0
+	var lastVio []Violation
+	fails := func(ds []Decision) bool {
+		if probes >= shrinkProbes {
+			return false
+		}
+		probes++
+		vio, err := RunOnce(m, ds, opt)
+		if err != nil {
+			return false
+		}
+		if len(vio) > 0 {
+			lastVio = vio
+			return true
+		}
+		return false
+	}
+
+	out := s.Clone()
+	ds := out.Decisions
+
+	// Delta pass: greedy removal to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(ds); i++ {
+			cand := make([]Decision, 0, len(ds)-1)
+			cand = append(cand, ds[:i]...)
+			cand = append(cand, ds[i+1:]...)
+			if fails(cand) {
+				ds = cand
+				changed = true
+				i--
+			}
+		}
+	}
+
+	// Lowering pass: slide each ordinal down to its earliest failing
+	// position, keeping the list strictly increasing.
+	for i := range ds {
+		lo := uint64(1)
+		if i > 0 {
+			lo = ds[i-1].At + 1
+		}
+		for at := lo; at < ds[i].At; at++ {
+			cand := append([]Decision(nil), ds...)
+			cand[i].At = at
+			if fails(cand) {
+				ds = cand
+				break
+			}
+		}
+	}
+
+	out.Decisions = ds
+	return out, lastVio
+}

@@ -1,0 +1,141 @@
+package mcheck
+
+import "fmt"
+
+// The canned verification suite: the checks this layer exists to run,
+// with their bounds and their expected outcomes. `rascheck -suite` and
+// the acceptance test both execute exactly this list, so "what the model
+// checker proves" has one definition.
+//
+// ExpectViolation entries are deliberate defects (the unprotected TAS,
+// the uniprocessor-only RAS on SMP, the two-store sequence): the suite
+// FAILS if the checker does NOT catch them, and records the minimized
+// counterexample when it does.
+
+// SuiteEntry is one canned check.
+type SuiteEntry struct {
+	Model  string
+	Over   map[string]string // param overrides
+	Mode   string            // "exhaustive" or "random"
+	K      int               // MaxDecisions
+	Seed   uint64            // random mode
+	Count  int               // random mode: schedules
+	Expect string            // "pass" or "violation"
+	Why    string            // one line: what this check proves
+}
+
+// SuiteResult is the outcome of one entry.
+type SuiteResult struct {
+	Entry  SuiteEntry
+	Report *Report
+	Err    error
+	// OK: the outcome matched the expectation.
+	OK bool
+}
+
+// Suite returns the canned entries. Bounds are chosen so the whole list
+// runs in well under a minute.
+func Suite() []SuiteEntry {
+	return []SuiteEntry{
+		{
+			Model: "counter", Over: map[string]string{"mech": "registered"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "Figure-3 registered RAS: preemption pairs at every instruction",
+		},
+		{
+			Model: "counter", Over: map[string]string{"mech": "designated"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "Figure-5 designated sequence: same walk, recognition not registration",
+		},
+		{
+			Model: "counter", Over: map[string]string{"mech": "none"},
+			Mode: "exhaustive", K: 2, Expect: "violation",
+			Why: "unprotected TAS control: the checker must catch it",
+		},
+		{
+			Model: "broken2store", Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "two committing stores: restart re-applies the first store",
+		},
+		{
+			Model: "recoverable", Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "owner+epoch lock under a kill at every instruction",
+		},
+		{
+			Model: "smp-counter", Over: map[string]string{"lock": "hybrid"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "paper's hybrid RAS+spinlock at 2 CPUs, K<=2 forced switches",
+		},
+		{
+			Model: "smp-counter", Over: map[string]string{"lock": "llsc"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "ll/sc loop at 2 CPUs: intervening writes fail the sc",
+		},
+		{
+			Model: "smp-counter", Over: map[string]string{"lock": "ras-only"},
+			Mode: "exhaustive", K: 2, Expect: "violation",
+			Why: "uniprocessor RAS on SMP: no cross-CPU atomicity (paper section 6)",
+		},
+		{
+			Model: "uni-counter", Over: map[string]string{"sync": "ras"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "runtime-layer restartable sequence at every memop boundary",
+		},
+		{
+			Model: "uni-counter", Over: map[string]string{"sync": "none"},
+			Mode: "exhaustive", K: 2, Expect: "violation",
+			Why: "bare load/store control at the runtime layer",
+		},
+		{
+			Model: "uni-rme", Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "recoverable mutex: a kill at every memop is repaired",
+		},
+		{
+			Model: "broken2store", Mode: "random", K: 3, Seed: 0xC0FFEE, Count: 200,
+			Expect: "violation",
+			Why:    "randomized mode finds and shrinks the same defect from a seed",
+		},
+	}
+}
+
+// RunEntry executes one suite entry.
+func RunEntry(ent SuiteEntry, opt Options) SuiteResult {
+	res := SuiteResult{Entry: ent}
+	m, err := BuildModel(ent.Model, ent.Over)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	e := &Explorer{Model: m, Opt: opt, MaxDecisions: ent.K}
+	switch ent.Mode {
+	case "exhaustive":
+		res.Report, res.Err = e.Exhaustive()
+	case "random":
+		res.Report, res.Err = e.Random(ent.Seed, ent.Count, nil)
+	default:
+		res.Err = fmt.Errorf("mcheck: suite entry with unknown mode %q", ent.Mode)
+	}
+	if res.Err != nil {
+		return res
+	}
+	switch ent.Expect {
+	case "pass":
+		res.OK = res.Report.Passed()
+	case "violation":
+		res.OK = res.Report.Counterexample != nil
+	}
+	return res
+}
+
+// ReproCommand is the one-line command that re-runs an entry exactly.
+func (r SuiteResult) ReproCommand() string {
+	ent := r.Entry
+	cmd := "rascheck -model " + ent.Model
+	if len(ent.Over) > 0 {
+		cmd += " -params " + paramString(ent.Over)
+	}
+	cmd += fmt.Sprintf(" -mode %s -max-decisions %d", ent.Mode, ent.K)
+	if ent.Mode == "random" {
+		cmd += fmt.Sprintf(" -seed %#x -schedules %d", ent.Seed, ent.Count)
+	}
+	return cmd
+}

@@ -1,0 +1,60 @@
+package mcheck
+
+import "testing"
+
+// The runtime-layer restartable sequence survives a preemption at every
+// memory-operation boundary, alone and in pairs.
+func TestUniExhaustiveRAS(t *testing.T) {
+	m := build(t, "uni-counter", map[string]string{"sync": "ras"})
+	e := &Explorer{Model: m, MaxDecisions: 2}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("%v\nrepro: %s", rep, reproLine(rep))
+	}
+	t.Logf("%v", rep)
+}
+
+// The bare load/store loses an update under a single well-placed
+// preemption; the shrinker brings it down to one decision.
+func TestUniExhaustiveCatchesUnsynced(t *testing.T) {
+	m := build(t, "uni-counter", map[string]string{"sync": "none"})
+	e := &Explorer{Model: m, MaxDecisions: 2}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex := rep.Counterexample
+	if cex == nil {
+		t.Fatalf("checker missed the unsynchronized counter: %v", rep)
+	}
+	if n := len(cex.Schedule.Decisions); n > 2 {
+		t.Errorf("counterexample has %d decisions, want <= 2", n)
+	}
+	vio, err := RunOnce(m, cex.Schedule.Decisions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vio) == 0 {
+		t.Fatalf("minimized counterexample does not replay: %v", cex.Schedule.Decisions)
+	}
+	t.Logf("%v", rep)
+}
+
+// core.RecoverableMutex under a kill at every memory-operation boundary:
+// the RMEChecker audit and the shadow count must both hold — dead-owner
+// repair keeps the survivors correct and running.
+func TestUniExhaustiveRMEKills(t *testing.T) {
+	m := build(t, "uni-rme", nil)
+	e := &Explorer{Model: m, MaxDecisions: 1}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("%v\nrepro: %s", rep, reproLine(rep))
+	}
+	t.Logf("%v", rep)
+}

@@ -1,0 +1,388 @@
+package mcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/chaos"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/vmach/kernel"
+)
+
+// vmach-backed models. Every instance is a fresh kernel over the model's
+// pre-assembled program, with the schedule rendered as a chaos injector
+// at PointStep, the timer effectively disabled (the schedule is the only
+// scheduler), and a generous cycle budget as a safety net. The decision
+// ordinal space is kernel.Steps(): retired user instructions.
+
+// modelQuantum pushes the timer past any bounded run, so the only
+// preemptions are the schedule's. modelBudget is the runaway net.
+const (
+	modelQuantum = uint64(1) << 40
+	modelBudget  = uint64(20_000_000)
+)
+
+type vmachModel struct {
+	name    string
+	params  map[string]string
+	primary Action
+	prog    *asm.Program
+	build   func(m *vmachModel, ds []Decision, opt Options) (Instance, error)
+}
+
+func (m *vmachModel) Name() string              { return m.name }
+func (m *vmachModel) Params() map[string]string { return m.params }
+func (m *vmachModel) Primary() Action           { return m.primary }
+func (m *vmachModel) Pausable() bool            { return true }
+func (m *vmachModel) New(ds []Decision, opt Options) (Instance, error) {
+	return m.build(m, ds, opt)
+}
+
+type vmachInstance struct {
+	k      *kernel.Kernel
+	vio    *violations
+	done   bool
+	ended  bool
+	runErr error
+	// expectCrash marks schedules that contain a crash decision, whose
+	// ErrMachineCrash outcome is the point, not a violation.
+	expectCrash bool
+	// finish applies the model's end-state invariants.
+	finish func()
+}
+
+func (in *vmachInstance) step() {
+	fin, err := in.k.StepOne()
+	if fin {
+		in.done = true
+		in.runErr = err
+	}
+}
+
+func (in *vmachInstance) RunTo(at uint64) bool {
+	for !in.done && in.k.Steps() < at {
+		in.step()
+	}
+	return in.done
+}
+
+func (in *vmachInstance) RunToEnd() {
+	for !in.done {
+		in.step()
+	}
+	if in.ended {
+		return
+	}
+	in.ended = true
+	in.classify()
+	if in.finish != nil {
+		in.finish()
+	}
+}
+
+// classify folds the kernel's terminal error into the violation taxonomy.
+func (in *vmachInstance) classify() {
+	err := in.runErr
+	switch {
+	case err == nil:
+	case errors.Is(err, kernel.ErrDeadlock):
+		in.vio.add("deadlock", "%v", err)
+	case errors.Is(err, kernel.ErrLivelock):
+		in.vio.add("restart-livelock", "%v", err)
+	case errors.Is(err, kernel.ErrBudget):
+		in.vio.add("budget", "%v", err)
+	case errors.Is(err, kernel.ErrMachineCrash):
+		if !in.expectCrash {
+			in.vio.add("crash", "%v", err)
+		}
+	default:
+		in.vio.add("abort", "%v", err)
+	}
+}
+
+func (in *vmachInstance) Cursor() uint64          { return in.k.Steps() }
+func (in *vmachInstance) Violations() []Violation { return in.vio.list }
+func (in *vmachInstance) StateHash() ([32]byte, bool) {
+	return hashKernel(in.k), true
+}
+
+func hasAct(ds []Decision, a Action) bool {
+	for _, d := range ds {
+		if d.Act == a {
+			return true
+		}
+	}
+	return false
+}
+
+// newVmachKernel builds the standard model-checking kernel: schedule
+// injector installed (always, so step ordinals count), timer parked.
+func newVmachKernel(strat kernel.Strategy, ds []Decision, opt Options) *kernel.Kernel {
+	k := kernel.New(kernel.Config{
+		Strategy:  strat,
+		Quantum:   modelQuantum,
+		MaxCycles: modelBudget,
+		Faults:    newInjector(chaos.PointStep, ds),
+	})
+	if opt.Tracer != nil {
+		k.Tracer = opt.Tracer
+	}
+	return k
+}
+
+// watchMutexCounter installs the mutual-exclusion and lost-update
+// checkers on a lock/counter workload: ownership is tracked at the lock
+// word, and judged at the counter — the critical section's effect — so a
+// losing test-and-set harmlessly re-storing 1 does not false-positive.
+func watchMutexCounter(k *kernel.Kernel, lockAddr, counterAddr uint32, v *violations) {
+	holder := -1
+	cur := func() int {
+		if t := k.Current(); t != nil {
+			return t.ID
+		}
+		return -1
+	}
+	k.M.Mem.Watch(lockAddr, func(old, new isa.Word) {
+		me := cur()
+		switch {
+		case old == 0 && new != 0:
+			holder = me
+		case old != 0 && new == 0:
+			if me != holder {
+				v.add("lock-discipline", "t%d released the lock held by t%d", me, holder)
+			}
+			holder = -1
+		}
+	})
+	k.M.Mem.Watch(counterAddr, func(old, new isa.Word) {
+		me := cur()
+		if me != holder {
+			v.add("mutual-exclusion", "t%d stored counter %d->%d while t%d holds the lock", me, old, new, holder)
+		}
+		if new != old+1 {
+			v.add("lost-update", "counter store %d->%d is not an increment", old, new)
+		}
+	})
+}
+
+// strategyByName builds a fresh recovery strategy per instance.
+func strategyByName(s string) (kernel.Strategy, error) {
+	switch s {
+	case "none":
+		return nil, nil
+	case "registration":
+		return &kernel.Registration{}, nil
+	case "designated":
+		return &kernel.Designated{}, nil
+	case "multi":
+		return kernel.NewMultiRegistration(), nil
+	}
+	return nil, fmt.Errorf("mcheck: unknown strategy %q", s)
+}
+
+// counterModel checks guest.MutexCounterProgram — the paper's Figure-3
+// (registered) and Figure-5 (designated) sequences, plus the unprotected
+// control (mech=none) the checker must catch.
+func counterModel(p map[string]string) (Model, error) {
+	mech, err := counterMech(p["mech"])
+	if err != nil {
+		return nil, err
+	}
+	workers, iters, err := workerIters(p)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(guest.MutexCounterProgram(mech, workers, iters))
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: counter: %v", err)
+	}
+	m := &vmachModel{name: "counter", params: p, primary: ActPreempt, prog: prog}
+	m.build = func(m *vmachModel, ds []Decision, opt Options) (Instance, error) {
+		strat, err := strategyByName(counterStrategy(mech))
+		if err != nil {
+			return nil, err
+		}
+		k := newVmachKernel(strat, ds, opt)
+		k.Load(m.prog)
+		k.Spawn(m.prog.MustSymbol("main"), guest.StackTop(0))
+		vio := &violations{}
+		watchMutexCounter(k, m.prog.MustSymbol("lock"), m.prog.MustSymbol("counter"), vio)
+		in := &vmachInstance{k: k, vio: vio, expectCrash: hasAct(ds, ActCrash)}
+		want := isa.Word(workers * iters)
+		kills := hasAct(ds, ActKill)
+		in.finish = func() {
+			got := k.M.Mem.Peek(m.prog.MustSymbol("counter"))
+			switch {
+			case !kills && got != want:
+				vio.add("counter-exact", "counter = %d, want %d", got, want)
+			case kills && got > want:
+				vio.add("counter-exact", "counter = %d exceeds %d with kills", got, want)
+			}
+		}
+		return in, nil
+	}
+	return m, nil
+}
+
+func counterMech(s string) (guest.Mechanism, error) {
+	switch s {
+	case "none":
+		return guest.MechNone, nil
+	case "registered":
+		return guest.MechRegistered, nil
+	case "designated":
+		return guest.MechDesignated, nil
+	}
+	return 0, fmt.Errorf("mcheck: counter: unknown mech %q", s)
+}
+
+func counterStrategy(m guest.Mechanism) string {
+	switch m {
+	case guest.MechRegistered:
+		return "registration"
+	case guest.MechDesignated:
+		return "designated"
+	}
+	return "none"
+}
+
+// broken2storeModel is the deliberately malformed two-store sequence.
+// kernel.VerifySequence rejects it at registration time, so the harness
+// installs the range through the MultiRegistration backdoor — bypassing
+// the static check on purpose to prove the dynamic checker catches what
+// slips through.
+func broken2storeModel(p map[string]string) (Model, error) {
+	workers, iters, err := workerIters(p)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(guest.BrokenTwoStoreProgram())
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: broken2store: %v", err)
+	}
+	m := &vmachModel{name: "broken2store", params: p, primary: ActPreempt, prog: prog}
+	m.build = func(m *vmachModel, ds []Decision, opt Options) (Instance, error) {
+		strat := kernel.NewMultiRegistration()
+		k := newVmachKernel(strat, ds, opt)
+		k.Load(m.prog)
+		lo, hi := m.prog.MustSymbol("bad_seq"), m.prog.MustSymbol("bad_end")
+		if err := k.VerifySequence(lo, hi-lo); err == nil {
+			return nil, fmt.Errorf("mcheck: broken2store: verifier accepted the malformed range")
+		}
+		strat.AddRange(lo, hi-lo)
+		for w := 0; w < workers; w++ {
+			k.Spawn(m.prog.MustSymbol("worker"), guest.StackTop(w), isa.Word(iters))
+		}
+		vio := &violations{}
+		in := &vmachInstance{k: k, vio: vio, expectCrash: hasAct(ds, ActCrash)}
+		want := isa.Word(workers * iters)
+		kills := hasAct(ds, ActKill)
+		in.finish = func() {
+			got := k.M.Mem.Peek(m.prog.MustSymbol("counter"))
+			if got != want && !kills {
+				vio.add("counter-exact", "counter = %d, want %d (restart re-applied a committed store)", got, want)
+			}
+		}
+		return in, nil
+	}
+	return m, nil
+}
+
+// recoverableModel checks guest.RecoverableCounterProgram — the
+// owner+epoch recoverable lock — under forced kills: the RME dead-owner-
+// repair invariants (increments only under the lock, steals only from
+// the dead, epoch bumps exactly once per steal) as memory watchpoints.
+func recoverableModel(p map[string]string) (Model, error) {
+	workers, iters, err := workerIters(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := strategyByName(p["strategy"]); err != nil {
+		return nil, err
+	}
+	prog, err := asm.Assemble(guest.RecoverableCounterProgram(workers, iters))
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: recoverable: %v", err)
+	}
+	m := &vmachModel{name: "recoverable", params: p, primary: ActKill, prog: prog}
+	m.build = func(m *vmachModel, ds []Decision, opt Options) (Instance, error) {
+		strat, _ := strategyByName(m.params["strategy"])
+		k := newVmachKernel(strat, ds, opt)
+		k.Load(m.prog)
+		k.Spawn(m.prog.MustSymbol("main"), guest.StackTop(0))
+		vio := &violations{}
+		increments := watchRME(k, m.prog.MustSymbol("lock"), m.prog.MustSymbol("counter"), vio)
+		in := &vmachInstance{k: k, vio: vio, expectCrash: hasAct(ds, ActCrash)}
+		want := isa.Word(workers * iters)
+		kills := hasAct(ds, ActKill)
+		in.finish = func() {
+			got := k.M.Mem.Peek(m.prog.MustSymbol("counter"))
+			if got != isa.Word(*increments) {
+				vio.add("rme", "counter = %d but %d watched increments", got, *increments)
+			}
+			if !kills && got != want {
+				vio.add("counter-exact", "counter = %d, want %d", got, want)
+			}
+			if kills && got > want {
+				vio.add("counter-exact", "counter = %d exceeds %d", got, want)
+			}
+		}
+		return in, nil
+	}
+	return m, nil
+}
+
+// watchRME installs the recoverable-mutex watchpoints on the owner+epoch
+// lock word (low 16 bits: owner thread ID + 1; high bits: steal epoch)
+// and the counter. It returns the watched increment count.
+func watchRME(k *kernel.Kernel, lockAddr, counterAddr uint32, v *violations) *uint64 {
+	increments := new(uint64)
+	cur := func() int {
+		if t := k.Current(); t != nil {
+			return t.ID
+		}
+		return -1
+	}
+	dead := func(tid int) bool {
+		if tid < 0 || tid >= len(k.Threads()) {
+			return true
+		}
+		switch k.Threads()[tid].State {
+		case kernel.StateDone, kernel.StateFaulted, kernel.StateKilled:
+			return true
+		}
+		return false
+	}
+	k.M.Mem.Watch(lockAddr, func(old, new isa.Word) {
+		me := cur()
+		oldOwner, newOwner := int(old&0xFFFF), int(new&0xFFFF)
+		oldEpoch, newEpoch := old>>16, new>>16
+		switch {
+		case oldOwner == 0 && newOwner != 0:
+			if newOwner != me+1 || newEpoch != oldEpoch {
+				v.add("rme", "bad acquire %#x->%#x by t%d", old, new, me)
+			}
+		case oldOwner != 0 && newOwner == 0:
+			if oldOwner != me+1 || newEpoch != oldEpoch {
+				v.add("rme", "bad release %#x->%#x by t%d", old, new, me)
+			}
+		case oldOwner != 0 && newOwner != 0:
+			if newOwner != me+1 || newEpoch != oldEpoch+1 {
+				v.add("rme", "bad steal %#x->%#x by t%d", old, new, me)
+			}
+			if !dead(oldOwner - 1) {
+				v.add("mutual-exclusion", "t%d stole the lock from live t%d", me, oldOwner-1)
+			}
+		}
+	})
+	k.M.Mem.Watch(counterAddr, func(old, new isa.Word) {
+		*increments++
+		lock := k.M.Mem.Peek(lockAddr)
+		if me := cur(); int(lock&0xFFFF) != me+1 || new != old+1 {
+			v.add("mutual-exclusion", "t%d incremented %d->%d with lock %#x", me, old, new, lock)
+		}
+	})
+	return increments
+}

@@ -546,6 +546,10 @@ func (k *Kernel) reap(t *Thread) {
 	t.boostSlice = false
 	t.Ctx.LockActive = false
 	t.seqRestarts = 0
+	// A kill invalidates the CPU's ll/sc reservation just as a context
+	// switch does: the dead thread's pending reservation must not let a
+	// later thread's sc succeed without its own ll.
+	k.M.ClearReservation()
 	k.Stats.Kills++
 	k.chargeKernel(uint64(k.Profile.SuspendCycles))
 	k.trace(TraceKill, t, 0)
@@ -852,19 +856,14 @@ func (k *Kernel) syscall(ev vmach.Event) {
 		k.Console = append(k.Console, a0)
 
 	case SysRasRegister:
-		switch s := k.Strategy.(type) {
-		case *Registration:
-			// One sequence per address space: re-registration replaces.
-			k.rasBySpace[t.AS] = rasRange{a0, a1}
-			t.Ctx.Regs[isa.RegV0] = 0
-		case *MultiRegistration:
-			s.AddRange(a0, a1)
-			t.Ctx.Regs[isa.RegV0] = 0
-		default:
-			// The paper's fallback: registration fails on kernels without
-			// support, and the thread package overwrites the sequence with
-			// a conventional mechanism (§3.1).
+		// The range is vetted before it is trusted (verify.go): a
+		// malformed sequence — or a kernel without registration support —
+		// fails the call, and the thread package overwrites the sequence
+		// with a conventional mechanism (§3.1).
+		if err := k.RegisterSequence(t.AS, a0, a1); err != nil {
 			t.Ctx.Regs[isa.RegV0] = ^isa.Word(0)
+		} else {
+			t.Ctx.Regs[isa.RegV0] = 0
 		}
 
 	case SysTas:

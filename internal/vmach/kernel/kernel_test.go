@@ -712,24 +712,31 @@ func TestReRegistrationReplaces(t *testing.T) {
 	k, prog := boot(t, Config{Strategy: &Registration{}}, `
 main:
 	li   v0, 3
-	li   a0, 0x3000
+	la   a0, seqA
 	li   a1, 12
 	syscall
 	li   v0, 3
-	li   a0, 0x4000
+	la   a0, seqB
 	li   a1, 12
 	syscall
 	li   v0, 0
 	move a0, zero
 	syscall
+seqA:
+	lw   t0, 0(s1)
+	ori  t0, t0, 1
+	sw   t0, 0(s1)
+seqB:
+	lw   t0, 0(s1)
+	ori  t0, t0, 1
+	sw   t0, 0(s1)
 `)
 	if err := k.Run(); err != nil {
 		t.Fatal(err)
 	}
-	_ = prog
 	r, ok := k.rasBySpace[0]
-	if !ok || r.start != 0x4000 {
-		t.Errorf("registration = %+v, want replaced at 0x4000", r)
+	if !ok || r.start != prog.MustSymbol("seqB") {
+		t.Errorf("registration = %+v, want replaced at seqB", r)
 	}
 	if len(k.rasBySpace) != 1 {
 		t.Errorf("spaces = %d", len(k.rasBySpace))
@@ -784,16 +791,24 @@ func TestMultiRegistrationSyscallAppends(t *testing.T) {
 	prog := guest.Assemble(`
 main:
 	li  v0, 3
-	li  a0, 0x3000
+	la  a0, seqA
 	li  a1, 12
 	syscall
 	li  v0, 3
-	li  a0, 0x5000
+	la  a0, seqB
 	li  a1, 12
 	syscall
 	move a0, v0
 	li  v0, 0
 	syscall
+seqA:
+	lw   t0, 0(s1)
+	ori  t0, t0, 1
+	sw   t0, 0(s1)
+seqB:
+	lw   t0, 0(s1)
+	ori  t0, t0, 1
+	sw   t0, 0(s1)
 `)
 	k.Load(prog)
 	k.Spawn(prog.MustSymbol("main"), guest.StackTop(0))

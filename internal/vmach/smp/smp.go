@@ -164,6 +164,36 @@ func (s *System) StepRound() (finished bool) {
 	return finished
 }
 
+// StepCPU advances one chosen CPU by a single scheduler step — the free
+// interleaving primitive the model checker builds arbitrary cross-CPU
+// schedules from, where StepRound fixes the round-robin order. Stepping a
+// finished CPU is a no-op. It reports whether that CPU has now finished;
+// a CPU that ends with an error keeps the error as its verdict.
+func (s *System) StepCPU(i int) (cpuDone bool) {
+	if s.done[i] {
+		return true
+	}
+	fin, err := s.CPUs[i].StepOne()
+	if fin {
+		s.done[i] = true
+		s.verds[i] = err
+	}
+	return s.done[i]
+}
+
+// Done reports whether CPU i has finished.
+func (s *System) Done(i int) bool { return s.done[i] }
+
+// AllDone reports whether every CPU has finished.
+func (s *System) AllDone() bool {
+	for _, d := range s.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
 // RunRounds advances the system by at most n rounds, reporting whether it
 // finished. Cutting a run at a round count is deterministic, which is
 // what checkpoint tests want.
