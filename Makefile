@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos recovery smp examples check fuzz fmt lint vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery smp persist examples check fuzz fmt lint vet clean tier1
 
 all: build vet test
 
@@ -43,6 +43,13 @@ recovery:
 # CPU counts, with per-passage cycle and RMR costs in both counting modes.
 smp:
 	$(GO) run ./cmd/rasbench -table smp -cpus 1,2,4
+
+# NVRAM persistence (E23): volatile-crash sweeps on both substrates, the
+# under-flush control, and the exhaustive crash-at-every-flush-boundary
+# walk; the dedicated mcheck persist tests run alongside.
+persist:
+	$(GO) run ./cmd/rasbench -table persist
+	$(GO) test -run 'Persist|Underflush' ./internal/mcheck/
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -16,8 +16,10 @@
 // placement), chaos (seeded fault-injection sweep; failures print a
 // one-line seed reproducer, replayable with -seed/-level), recovery
 // (recoverable mutual exclusion: thread-kill sweeps on both substrates,
-// checkpoint replay, crash restore), smp (§7 hybrid RAS+spinlock vs pure
-// spinlock vs ll/sc across CPU counts; -cpus picks the counts).
+// checkpoint replay, crash restore), persist (NVRAM persistence: volatile
+// crash sweeps with bounded durability loss and exact recovery, plus the
+// exhaustive crash-at-flush-boundary walk), smp (§7 hybrid RAS+spinlock
+// vs pure spinlock vs ll/sc across CPU counts; -cpus picks the counts).
 package main
 
 import (
@@ -48,7 +50,7 @@ type benchOpts struct {
 
 func main() {
 	var o benchOpts
-	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,smp,all")
+	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,smp,all")
 	flag.IntVar(&o.iters, "iters", 20000, "microbenchmark loop iterations")
 	flag.IntVar(&o.scale, "scale", 1, "table 3 workload multiplier")
 	flag.Uint64Var(&o.seed, "seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
@@ -266,6 +268,18 @@ func runOpts(o benchOpts) error {
 				return "", err
 			}
 			return bench.FormatRecovery(rows), nil
+		}},
+		{"persist", "Persistence sweep: volatile crashes, bounded loss, NVM recovery (E23)", func() (string, error) {
+			cfg := bench.DefaultPersistConfig()
+			if o.seed != 0 {
+				cfg.Seed = o.seed
+			}
+			cfg.MaxCycles = o.timeout
+			rows, err := bench.TablePersist(cfg)
+			if err != nil {
+				return "", err
+			}
+			return bench.FormatPersist(rows), nil
 		}},
 		{"smp", "SMP sweep: §7 hybrid RAS+spinlock vs pure spinlock vs ll/sc", func() (string, error) {
 			cfg := bench.DefaultSMPConfig()

@@ -7,6 +7,8 @@
 //	rasvm [-arch r3000] [-strategy registration] [-quantum 10000] prog.s
 //	rasvm -demo counter -strategy designated -workers 4 -iters 1000
 //	rasvm -demo recoverable -kill-at 5000,9000       # orphan + repair
+//	rasvm -demo persistent -crash-at 4000            # NVRAM: crash, reboot,
+//	                                                 # recover from NVM alone
 //	rasvm -demo counter -crash-at 8000 -checkpoint ck.bin
 //	rasvm -restore ck.bin                            # replay the rest
 //	rasvm -replay-sched cex.sched -trace-out t.json  # re-run a rascheck
@@ -15,7 +17,11 @@
 // The -demo flag runs a built-in workload instead of a source file:
 // "counter" is the shared-counter mutual exclusion workload; "recoverable"
 // is the owner+epoch recoverable mutex, which survives -kill-at thread
-// deaths by repairing the orphaned lock; "smp" runs the shared counter on
+// deaths by repairing the orphaned lock; "persistent" runs the
+// crash-consistent variant on the two-tier NVRAM memory — with -crash-at
+// the injected crash DISCARDS unflushed lines, and the same binary then
+// reboots over the surviving NVM image, repairs the lock, and completes
+// the workload; "smp" runs the shared counter on
 // a multi-CPU system (-cpus) under the §7 hybrid RAS+spinlock (-lock
 // picks hybrid, spinlock, llsc, or the unsound ras-only control). The
 // final counter value and kernel statistics are printed, so the effect of
@@ -44,6 +50,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/mcheck"
 	"repro/internal/obs"
+	"repro/internal/vmach"
 	"repro/internal/vmach/kernel"
 )
 
@@ -73,7 +80,7 @@ type options struct {
 }
 
 // demos lists the built-in workloads -demo accepts.
-var demos = []string{"counter", "recoverable", "smp"}
+var demos = []string{"counter", "recoverable", "persistent", "smp"}
 
 func main() {
 	var o options
@@ -124,6 +131,9 @@ func run(o options) error {
 	}
 	if o.demo == "smp" {
 		return runSMP(o)
+	}
+	if o.demo == "persistent" {
+		return runPersistent(o)
 	}
 	prof := arch.ByName(o.arch)
 	if prof == nil {
@@ -332,6 +342,83 @@ func run(o options) error {
 		}
 	}
 	return runErr
+}
+
+// runPersistent demonstrates the NVRAM persistence model end to end: the
+// crash-consistent counter guest runs on a memory with a volatile
+// write-back tier in front of NVM, -crash-at injects a whole-machine
+// crash that DISCARDS unflushed lines, and the same binary then reboots
+// over the surviving NVM image — no reload — repairs the lock it finds
+// there, and completes the workload exactly.
+func runPersistent(o options) error {
+	prog, err := asm.Assemble(guest.PersistentCounterProgram(o.workers, o.iters))
+	if err != nil {
+		return err
+	}
+	mem := vmach.NewMemory()
+	mem.EnablePersistence()
+	boot := func(faults chaos.Injector, load bool) *kernel.Kernel {
+		k := kernel.New(kernel.Config{
+			Strategy: &kernel.Designated{}, CheckAt: kernel.CheckAtResume,
+			Quantum: o.quantum, MaxCycles: o.timeout, Memory: mem, Faults: faults,
+			Watchdog: chaos.Watchdog{Policy: chaos.WatchdogExtend},
+		})
+		if load {
+			k.Load(prog)
+		}
+		k.Spawn(prog.MustSymbol("main"), guest.StackTop(0))
+		return k
+	}
+	var faults chaos.Injector
+	if o.crashAt > 0 {
+		faults = chaos.OneShot{Point: chaos.PointStep, N: o.crashAt,
+			Action: chaos.Action{CrashVolatile: true}}
+	}
+	counter := prog.MustSymbol("counter")
+	lock := prog.MustSymbol("lock")
+	repairs := prog.MustSymbol("repairs")
+
+	fmt.Printf("demo:          persistent (%d workers x %d iters, %d-byte persistence lines)\n",
+		o.workers, o.iters, vmach.LineBytes)
+	k := boot(faults, true)
+	runErr := k.Run()
+	// want is the exact final counter: the reboot reruns the full workload
+	// on top of whatever the NVM image preserved.
+	want := uint32(o.workers * o.iters)
+	status := "CORRECT"
+	if o.crashAt > 0 {
+		if !errors.Is(runErr, kernel.ErrMachineCrash) {
+			return fmt.Errorf("the guest finished before step %d (run = %v); try a smaller -crash-at", o.crashAt, runErr)
+		}
+		// The injected crash already discarded the volatile tier: what the
+		// memory holds now is the NVM image alone.
+		c0 := mem.Peek(counter)
+		fmt.Printf("crash:         volatile tier discarded at step %d\n", o.crashAt)
+		fmt.Printf("NVM state:     counter=%d lock=%#x repairs=%d\n",
+			c0, mem.Peek(lock), mem.Peek(repairs))
+		fmt.Printf("boot 1:        %d flushes, %d fences, %d lines persisted\n",
+			k.M.Stats.Flushes, k.M.Stats.Fences, k.M.Stats.LinesPersisted)
+		k = boot(nil, false) // reboot: program image and lock state are in NVM
+		if err := k.Run(); err != nil {
+			return fmt.Errorf("reboot run: %w", err)
+		}
+		want += c0
+		status = "RECOVERED"
+	} else if runErr != nil {
+		return runErr
+	}
+
+	got := mem.Peek(counter)
+	if got != want {
+		status = "LOST UPDATES"
+	}
+	lw := mem.Peek(lock)
+	fmt.Printf("counter:       %d / %d  [%s]\n", got, want, status)
+	fmt.Printf("lock word:     %#x (owner %d, epoch %d), repairs %d\n",
+		lw, int32(lw&0xFFFF)-1, lw>>16, mem.Peek(repairs))
+	fmt.Printf("persists:      %d flushes, %d fences, %d lines drained (%d cycles)\n",
+		k.M.Stats.Flushes, k.M.Stats.Fences, k.M.Stats.LinesPersisted, k.M.Stats.PersistCycles)
+	return nil
 }
 
 // runReplaySched re-executes a model-checker counterexample: the .sched

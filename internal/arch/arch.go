@@ -79,6 +79,18 @@ type Profile struct {
 	// model (stores cost StoreCycles flat).
 	WriteBufferDepth       int
 	WriteBufferDrainCycles int
+
+	// Persistence (NVRAM) costs, for machines whose memory carries a
+	// volatile line buffer in front of non-volatile storage. flush issues
+	// a line write-back (clwb-style, FlushCycles); fence is the persist
+	// barrier (FenceCycles) and additionally pays PersistDrainCycles per
+	// line it actually makes durable — NVM writes are slow, and a fence
+	// cannot retire until every outstanding write-back has. On memories
+	// without a persistence domain both instructions are hints and cost
+	// only their base cycles.
+	FlushCycles        int
+	FenceCycles        int
+	PersistDrainCycles int
 }
 
 // WithWriteBuffer returns a copy of p using the given write-buffer model.
@@ -112,6 +124,10 @@ func (p *Profile) CyclesFor(c isa.Class) int {
 		return p.InterlockedCycles
 	case isa.ClassLockB:
 		return p.LockBCycles
+	case isa.ClassFlush:
+		return p.FlushCycles
+	case isa.ClassFence:
+		return p.FenceCycles
 	}
 	return p.ALUCycles
 }
@@ -156,6 +172,17 @@ func kernelDefaults(p Profile) Profile {
 	}
 	if p.LockBMaxCycles == 0 {
 		p.LockBMaxCycles = 32
+	}
+	if p.FlushCycles == 0 {
+		// A clwb-style hint: roughly a store's issue cost.
+		p.FlushCycles = 4
+	}
+	if p.FenceCycles == 0 {
+		p.FenceCycles = 10
+	}
+	if p.PersistDrainCycles == 0 {
+		// NVM write-back latency per line, paid at the fence.
+		p.PersistDrainCycles = 60
 	}
 	return p
 }

@@ -517,6 +517,19 @@ func (a *assembler) encodeInst(it item) ([]isa.Word, error) {
 	case "lockb":
 		return enc(isa.Inst{Op: isa.OpLOCKB})
 
+	case "flush":
+		if err := need(1); err != nil {
+			return fail("%v", err)
+		}
+		off, rs, err := parseMem(it.args[0])
+		if err != nil {
+			return fail("%v", err)
+		}
+		return enc(isa.Flush(rs, off))
+
+	case "fence":
+		return enc(isa.Fence())
+
 	case "beq", "bne":
 		if err := need(3); err != nil {
 			return fail("%v", err)

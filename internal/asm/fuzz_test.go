@@ -29,6 +29,8 @@ func FuzzAssemble(f *testing.F) {
 		"\x00\x01\x02",
 		"jal 0x1000\nsyscall\nbreak\nlandmark\nlockb",
 		"tas v0, 0(a0)\nxchg t0, 0(a0)\nfaa t1, 0(a1)",
+		"flush 0(a0)\nfence",
+		"flush -64(s1)\nsw t0, 0(s1)\nflush 0(s1)\nfence\nfence",
 		strings.Repeat("nop\n", 100),
 		".word 5",
 		"addi t0, t0, -32768\naddi t0, t0, 32767",
@@ -69,6 +71,8 @@ func FuzzAsm(f *testing.F) {
 	f.Add(isa.Encode(isa.Inst{Op: isa.OpBEQ, Rs: 8, Rt: 9, Imm: -2}))
 	f.Add(isa.Encode(isa.Inst{Op: isa.OpLUI, Rt: 8, Uimm: 0x1234}))
 	f.Add(isa.Encode(isa.Inst{Op: isa.OpSpecial, Funct: isa.FnJALR, Rd: 31, Rs: 8}))
+	f.Add(isa.Encode(isa.Flush(isa.RegS1, -64)))
+	f.Add(isa.Encode(isa.Fence()))
 	f.Fuzz(func(t *testing.T, w uint32) {
 		inst := isa.Decode(w)
 		text := inst.String()
@@ -105,7 +109,8 @@ func FuzzDecode(f *testing.F) {
 		case isa.OpSpecial, isa.OpJ, isa.OpJAL, isa.OpBEQ, isa.OpBNE,
 			isa.OpBLEZ, isa.OpBGTZ, isa.OpADDI, isa.OpSLTI, isa.OpSLTIU,
 			isa.OpANDI, isa.OpORI, isa.OpXORI, isa.OpLUI, isa.OpLW,
-			isa.OpSW, isa.OpTAS, isa.OpXCHG, isa.OpFAA, isa.OpLOCKB:
+			isa.OpSW, isa.OpTAS, isa.OpXCHG, isa.OpFAA, isa.OpLOCKB,
+			isa.OpFLUSH, isa.OpFENCE:
 			if isa.Encode(inst) != w {
 				t.Fatalf("round trip failed for %#x (%v)", w, inst)
 			}

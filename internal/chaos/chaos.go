@@ -86,15 +86,26 @@ type Action struct {
 	// killed inside a critical section orphans the lock forever).
 	Kill bool
 	// Crash halts the whole machine mid-run: the substrate stops
-	// scheduling and reports a machine-crash error, leaving its state
-	// intact for checkpointing. Recovery is by checkpoint/restore.
+	// scheduling and reports a machine-crash error. Crash models a machine
+	// with FULLY PERSISTENT memory — every committed store survives, so
+	// the halted state is left intact exactly as written, ready for
+	// checkpointing. Recovery is by checkpoint/restore. (Seeds before the
+	// persistence model relied on this implicitly; it is now the
+	// documented contract, asserted by TestCrashIsFullyPersistent.)
 	Crash bool
+	// CrashVolatile is the NVRAM-model crash: the machine halts as with
+	// Crash, but first every memory line whose write-back has not been
+	// fenced reverts to its NVM image (vmach.Memory.DiscardUnflushed).
+	// What a recovery path sees afterwards is NVM contents only — the
+	// failure mode the recoverable-mutex literature assumes. On memories
+	// without the persistence model enabled it degrades to Crash.
+	CrashVolatile bool
 }
 
 // Any reports whether the action requests any fault at all.
 func (a Action) Any() bool {
 	return a.Preempt || a.SpuriousSuspend || a.EvictCode || a.EvictData ||
-		a.Jitter != 0 || a.Kill || a.Crash
+		a.Jitter != 0 || a.Kill || a.Crash || a.CrashVolatile
 }
 
 // Bits packs the action's flags for compact trace output.
@@ -117,6 +128,9 @@ func (a Action) Bits() uint64 {
 	}
 	if a.Crash {
 		b |= 32
+	}
+	if a.CrashVolatile {
+		b |= 64
 	}
 	return b
 }
@@ -284,6 +298,7 @@ func (c composed) At(p Point, n uint64) Action {
 		a.EvictData = a.EvictData || x.EvictData
 		a.Kill = a.Kill || x.Kill
 		a.Crash = a.Crash || x.Crash
+		a.CrashVolatile = a.CrashVolatile || x.CrashVolatile
 		a.Jitter += x.Jitter
 	}
 	return a

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/uniproc"
+)
+
+// persistentWorkload is the crash-consistent counter: acquire (P1 inside
+// the mutex), increment, persist the counter (P2 — the caller's half of
+// the protocol), release (P3 inside the mutex). committed counts every
+// increment that executed, in harness memory the crash cannot revert.
+func persistentWorkload(mu *PersistentMutex, counter *Word, iters int, committed *int) func(*uniproc.Env) {
+	return func(e *uniproc.Env) {
+		for i := 0; i < iters; i++ {
+			mu.Acquire(e)
+			v := e.Load(counter)
+			e.Store(counter, v+1)
+			*committed++
+			e.Flush(counter) // P2
+			e.Fence()
+			mu.Release(e)
+		}
+	}
+}
+
+// The persistent recoverable mutex, end to end: run until an injected
+// volatile crash, verify the bounded-durability-loss invariant on what
+// survived, then recover on a FRESH processor from word contents alone
+// and complete a full workload on top.
+func TestPersistentMutexCrashRecovery(t *testing.T) {
+	const workers, iters = 2, 4
+
+	// Calibrate: a fault-free run bounds the meaningful crash ordinals.
+	calMu, calCounter, calN := NewPersistentMutex(), Word(0), 0
+	cal := uniproc.New(uniproc.Config{})
+	cal.EnablePersistence()
+	cal.Go("main", func(e *uniproc.Env) {
+		for w := 0; w < workers; w++ {
+			e.Fork("worker", persistentWorkload(calMu, &calCounter, iters, &calN))
+		}
+	})
+	if err := cal.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := cal.MemOps()
+	if calCounter != workers*iters {
+		t.Fatalf("calibration counter = %d, want %d", calCounter, workers*iters)
+	}
+
+	for _, crashAt := range []uint64{total / 7, total / 3, total / 2, total - 2} {
+		if crashAt == 0 {
+			crashAt = 1
+		}
+		mu := NewPersistentMutex()
+		var counter Word
+		committed := 0
+
+		// Boot 1: crash with the volatile tier discarded at the fault.
+		p1 := uniproc.New(uniproc.Config{Faults: chaos.OneShot{
+			Point: chaos.PointMemOp, N: crashAt,
+			Action: chaos.Action{CrashVolatile: true},
+		}})
+		p1.EnablePersistence()
+		p1.Go("main", func(e *uniproc.Env) {
+			for w := 0; w < workers; w++ {
+				e.Fork("worker", persistentWorkload(mu, &counter, iters, &committed))
+			}
+		})
+		if err := p1.Run(); !errors.Is(err, uniproc.ErrMachineCrash) {
+			t.Fatalf("crash@%d: Run = %v, want ErrMachineCrash", crashAt, err)
+		}
+		// What the words hold now is NVM contents only.
+		c0 := counter
+		if int(c0) < committed-1 {
+			t.Errorf("crash@%d: NVM counter %d but %d increments committed; protocol lost more than one",
+				crashAt, c0, committed)
+		}
+
+		// Boot 2: fresh processor, same words. Recover before any worker.
+		p2 := uniproc.New(uniproc.Config{})
+		p2.EnablePersistence()
+		p2.Go("main", func(e *uniproc.Env) {
+			mu.Recover(e)
+			for w := 0; w < workers; w++ {
+				e.Fork("worker", persistentWorkload(mu, &counter, iters, &committed))
+			}
+		})
+		if err := p2.Run(); err != nil {
+			t.Fatalf("crash@%d: reboot run: %v", crashAt, err)
+		}
+		if want := c0 + workers*iters; counter != want {
+			t.Errorf("crash@%d: counter after reboot = %d, want %d (%d survived + %d new)",
+				crashAt, counter, want, c0, workers*iters)
+		}
+		if own := rmOwner(mu.Word()); own >= 0 {
+			t.Errorf("crash@%d: lock still owned by %d after clean reboot", crashAt, own)
+		}
+	}
+}
+
+// Recover is a no-op on a free lock, and repairs an owned one with the
+// epoch bumped and the repaired word made durable before it returns.
+func TestRecoverRepairsFromNVMAlone(t *testing.T) {
+	mu := NewPersistentMutex()
+	mu.word = 3<<rmEpochShift | 2 // epoch 3, owner thread 1: a crashed run's corpse
+	p := uniproc.New(uniproc.Config{})
+	p.EnablePersistence()
+	p.Go("main", func(e *uniproc.Env) {
+		if !mu.Recover(e) {
+			t.Error("Recover found nothing to repair")
+		}
+		if mu.Recover(e) {
+			t.Error("second Recover repaired a free lock")
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if own, ep := rmOwner(mu.Word()), rmEpoch(mu.Word()); own >= 0 || ep != 4 {
+		t.Fatalf("repaired word: owner=%d epoch=%d, want free/4", own, ep)
+	}
+	if got := p.NVPeek(&mu.word); got != mu.word {
+		t.Fatal("repair is not durable: NVM tier disagrees with the repaired word")
+	}
+	if p.Stats.Repairs != 1 {
+		t.Fatalf("Repairs = %d, want 1", p.Stats.Repairs)
+	}
+}

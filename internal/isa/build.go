@@ -72,6 +72,12 @@ func Beq(rs, rt int, off int32) Inst { return I(OpBEQ, rt, rs, off) }
 // Bne builds "bne rs, rt, off".
 func Bne(rs, rt int, off int32) Inst { return I(OpBNE, rt, rs, off) }
 
+// Flush builds "flush imm(rs)" (line write-back toward NVM).
+func Flush(rs int, imm int32) Inst { return I(OpFLUSH, 0, rs, imm) }
+
+// Fence builds "fence" (persist barrier).
+func Fence() Inst { return Inst{Op: OpFENCE} }
+
 // Jr builds "jr rs".
 func Jr(rs int) Inst { return Inst{Op: OpSpecial, Funct: FnJR, Rs: rs} }
 

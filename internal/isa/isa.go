@@ -131,6 +131,14 @@ const (
 	// on success, 0 on failure. Profiles gate them via HasLLSC.
 	OpLL = 0x34 // rt <- mem[rs+imm]; reserve the line
 	OpSC = 0x35 // if reserved: mem[rs+imm] <- rt, rt <- 1; else rt <- 0
+
+	// Persistence extensions (clwb/sfence-style, for the NVRAM model).
+	// flush initiates write-back of the 64-byte line holding rs+imm from
+	// the volatile tier toward NVM; fence makes every initiated write-back
+	// durable. Data is only crash-safe after flush AND a following fence.
+	// Both are hints on machines without a persistence domain.
+	OpFLUSH = 0x36 // write back line of mem[rs+imm] (rt unused)
+	OpFENCE = 0x37 // drain: all flushed lines become durable
 )
 
 // SPECIAL function codes (bits 5..0 when Op == OpSpecial).
@@ -281,6 +289,8 @@ const (
 	ClassTrap        // syscall, break
 	ClassInterlocked // TAS, XCHG, FAA
 	ClassLockB
+	ClassFlush // line write-back toward NVM
+	ClassFence // persist barrier
 )
 
 // ClassOf returns the cost class of a decoded instruction.
@@ -307,6 +317,10 @@ func ClassOf(i Inst) Class {
 		return ClassInterlocked
 	case OpLOCKB:
 		return ClassLockB
+	case OpFLUSH:
+		return ClassFlush
+	case OpFENCE:
+		return ClassFence
 	default:
 		return ClassALU
 	}
@@ -396,6 +410,10 @@ func Mnemonic(i Inst) string {
 		return "ll"
 	case OpSC:
 		return "sc"
+	case OpFLUSH:
+		return "flush"
+	case OpFENCE:
+		return "fence"
 	}
 	return fmt.Sprintf("op?%#x", i.Op)
 }
@@ -436,6 +454,10 @@ func (i Inst) String() string {
 		return fmt.Sprintf("%s %s, %d(%s)", m, RegName(i.Rt), i.Imm, RegName(i.Rs))
 	case OpLOCKB:
 		return "lockb"
+	case OpFLUSH: // rt is a don't-care; the canonical form omits it
+		return fmt.Sprintf("flush %d(%s)", i.Imm, RegName(i.Rs))
+	case OpFENCE:
+		return "fence"
 	case OpANDI, OpORI, OpXORI:
 		return fmt.Sprintf("%s %s, %s, %#x", m, RegName(i.Rt), RegName(i.Rs), i.Uimm)
 	default: // addi, slti, sltiu

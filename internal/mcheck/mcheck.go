@@ -39,6 +39,12 @@ const (
 	// ActSwitch hands the interleaving to the next CPU at the ordinal —
 	// the smp primitive (meaningless on single-CPU substrates).
 	ActSwitch
+	// ActCrashVolatile crashes the machine with volatile-memory semantics
+	// at the ordinal: unfenced lines revert to NVM and the system reboots.
+	// On the persist model the ordinal space is persist operations
+	// (flushes + fences) retired, so ordinals enumerate exactly the
+	// crash points between persist operations.
+	ActCrashVolatile
 )
 
 func (a Action) String() string {
@@ -51,6 +57,8 @@ func (a Action) String() string {
 		return "crash"
 	case ActSwitch:
 		return "switch"
+	case ActCrashVolatile:
+		return "crash-volatile"
 	}
 	return "?"
 }
@@ -66,6 +74,8 @@ func ParseAction(s string) (Action, error) {
 		return ActCrash, nil
 	case "switch":
 		return ActSwitch, nil
+	case "crash-volatile":
+		return ActCrashVolatile, nil
 	}
 	return 0, fmt.Errorf("mcheck: unknown action %q", s)
 }
@@ -128,6 +138,8 @@ func newInjector(point chaos.Point, ds []Decision) *injector {
 			a.Kill = true
 		case ActCrash:
 			a.Crash = true
+		case ActCrashVolatile:
+			a.CrashVolatile = true
 		}
 		in.acts[d.At] = a
 	}

@@ -32,6 +32,11 @@ var registry = map[string]modelEntry{
 		build:    recoverableModel,
 		doc:      "vmach owner+epoch recoverable lock under forced kills",
 	},
+	"persist": {
+		defaults: map[string]string{"workers": "1", "iters": "2", "variant": "flushed"},
+		build:    persistModel,
+		doc:      "NVRAM-persistent recoverable lock, crash at every persist boundary; variant=flushed|underflush",
+	},
 	"smp-counter": {
 		defaults: map[string]string{"lock": "hybrid", "cpus": "2", "iters": "1"},
 		build:    smpCounterModel,

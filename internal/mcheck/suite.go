@@ -90,6 +90,16 @@ func Suite() []SuiteEntry {
 			Why: "recoverable mutex: a kill at every memop is repaired",
 		},
 		{
+			Model: "persist", Over: map[string]string{"workers": "1", "iters": "2"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "persistent lock+counter: a volatile crash at every flush boundary recovers",
+		},
+		{
+			Model: "persist", Over: map[string]string{"workers": "1", "iters": "3", "variant": "underflush"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "under-flushed variant: a late crash loses more than one increment",
+		},
+		{
 			Model: "broken2store", Mode: "random", K: 3, Seed: 0xC0FFEE, Count: 200,
 			Expect: "violation",
 			Why:    "randomized mode finds and shrinks the same defect from a seed",

@@ -81,11 +81,12 @@ func (e *Env) ChargeCall() { e.charge(2 * e.p.profile.JumpCycles) }
 
 // chaosMemOp consults the fault injector at a Load/Store boundary — the
 // runtime layer's preemption points — and applies forced preemptions,
-// spurious suspensions, thread kills, and machine crashes. Suspensions
-// inside a restartable sequence trigger the normal rollback path; kills
-// and crashes unwind the thread (or the whole run) where it stands. All
-// faults are suppressed while interrupts are masked: a trap handler can
-// neither be preempted nor die halfway through kernel state.
+// spurious suspensions, thread kills, and machine crashes (fully
+// persistent or volatile). Suspensions inside a restartable sequence
+// trigger the normal rollback path; kills and crashes unwind the thread
+// (or the whole run) where it stands. All faults are suppressed while
+// interrupts are masked: a trap handler can neither be preempted nor die
+// halfway through kernel state.
 func (e *Env) chaosMemOp() {
 	p := e.p
 	p.memOps++ // counted even without an injector: a fault-free reference
@@ -94,7 +95,7 @@ func (e *Env) chaosMemOp() {
 		return
 	}
 	act := p.faults.At(chaos.PointMemOp, p.memOps)
-	if !act.Preempt && !act.SpuriousSuspend && !act.Kill && !act.Crash {
+	if !act.Preempt && !act.SpuriousSuspend && !act.Kill && !act.Crash && !act.CrashVolatile {
 		return
 	}
 	if e.masked > 0 {
@@ -105,7 +106,12 @@ func (e *Env) chaosMemOp() {
 	}
 	p.Stats.Injected++
 	p.trace(TraceInject, e.t, act.Bits())
-	if act.Crash {
+	if act.Crash || act.CrashVolatile {
+		if act.CrashVolatile {
+			// The volatile tier dies with the machine; on a non-persistent
+			// memory this reverts nothing and degrades to Crash.
+			p.DiscardUnflushed()
+		}
 		p.trace(TraceCrash, e.t, 0)
 		if p.runErr == nil {
 			p.runErr = fmt.Errorf("%w: at memop %d in %v", ErrMachineCrash, p.memOps, e.t)
@@ -157,6 +163,7 @@ func (e *Env) Load(w *Word) Word {
 // sequence, use Commit for the final (committing) store instead: a
 // sequence must end with its store so that rollback never repeats one.
 func (e *Env) Store(w *Word, v Word) {
+	e.p.shadowWord(w)
 	*w = v
 	e.charge(e.p.profile.StoreCycles)
 	e.profMem(obs.MemStore, e.p.profile.StoreCycles)
@@ -263,6 +270,7 @@ func (e *Env) Commit(w *Word, v Word) {
 	if !e.inRAS {
 		panic("uniproc: Commit outside a Restartable sequence")
 	}
+	e.p.shadowWord(w)
 	*w = v
 	e.inRAS = false // the sequence has committed; no rollback past this point
 	e.charge(e.p.profile.StoreCycles)
@@ -273,6 +281,39 @@ func (e *Env) Commit(w *Word, v Word) {
 // InRestartable reports whether the thread is inside a restartable
 // sequence (for assertions in library code).
 func (e *Env) InRestartable() bool { return e.inRAS }
+
+// Flush initiates a write-back of w's volatile contents toward NVM — the
+// runtime-layer clwb. It is asynchronous: the word is durable only after
+// the next Fence. Flushing a clean word, or any word on a non-persistent
+// processor, is a charged hint.
+func (e *Env) Flush(w *Word) {
+	p := e.p
+	p.Stats.Flushes++
+	if p.persist {
+		if _, dirty := p.nvShadow[w]; dirty {
+			p.nvPending[w] = true
+		}
+	}
+	e.charge(p.profile.FlushCycles)
+}
+
+// Fence is the persist barrier: every write-back initiated by a Flush
+// (and not cancelled by a later store to the same word) becomes durable,
+// and the fence pays the profile's NVM drain cost per word persisted.
+func (e *Env) Fence() {
+	p := e.p
+	p.Stats.Fences++
+	n := 0
+	if p.persist && len(p.nvPending) > 0 {
+		for w := range p.nvPending {
+			delete(p.nvShadow, w)
+			n++
+		}
+		p.nvPending = make(map[*Word]bool)
+		p.Stats.Persists += uint64(n)
+	}
+	e.charge(p.profile.FenceCycles + n*p.profile.PersistDrainCycles)
+}
 
 // Trap enters the kernel with interrupts disabled, runs f, charges the trap
 // entry/exit paths plus extra cycles of kernel work, and delivers any timer

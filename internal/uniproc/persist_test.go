@@ -1,0 +1,125 @@
+package uniproc
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// Store → Flush → Fence walks a word across the tiers, a later store
+// cancels an unfenced write-back, and a discard reverts exactly the
+// unfenced words — the runtime-layer mirror of the vmach line buffer.
+func TestPersistenceTiersAtWordGranularity(t *testing.T) {
+	var a, b Word = 7, 0
+	p := New(Config{})
+	p.EnablePersistence()
+	p.Go("main", func(e *Env) {
+		e.Store(&a, 42)
+		if got := p.NVPeek(&a); got != 7 {
+			t.Errorf("NVM tier = %d before fence, want 7", got)
+		}
+		e.Flush(&a)
+		if got := p.NVPeek(&a); got != 7 {
+			t.Errorf("NVM tier = %d after flush but before fence, want 7", got)
+		}
+		e.Fence()
+		if got := p.NVPeek(&a); got != 42 {
+			t.Errorf("NVM tier = %d after fence, want 42", got)
+		}
+
+		e.Store(&b, 1)
+		e.Flush(&b)
+		e.Store(&b, 2) // cancels the pending write-back
+		e.Fence()
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Flushes != 2 || p.Stats.Fences != 2 || p.Stats.Persists != 1 {
+		t.Errorf("Flushes=%d Fences=%d Persists=%d, want 2/2/1",
+			p.Stats.Flushes, p.Stats.Fences, p.Stats.Persists)
+	}
+	if n := p.DiscardUnflushed(); n != 1 {
+		t.Fatalf("discard reverted %d words, want 1 (only b was unfenced)", n)
+	}
+	if a != 42 || b != 0 {
+		t.Fatalf("after crash: a=%d b=%d, want a=42 b=0", a, b)
+	}
+}
+
+// The fence pays the profile's drain cost per word actually persisted;
+// an empty fence costs only its base cycles.
+func TestFenceChargesDrainPerWord(t *testing.T) {
+	var w Word
+	p := New(Config{})
+	p.EnablePersistence()
+	prof := p.Profile()
+	p.Go("main", func(e *Env) {
+		e.Store(&w, 1)
+		e.Flush(&w)
+		c0 := e.Now()
+		e.Fence()
+		if got, want := e.Now()-c0, uint64(prof.FenceCycles+prof.PersistDrainCycles); got != want {
+			t.Errorf("loaded fence cost %d cycles, want %d", got, want)
+		}
+		c0 = e.Now()
+		e.Fence()
+		if got, want := e.Now()-c0, uint64(prof.FenceCycles); got != want {
+			t.Errorf("empty fence cost %d cycles, want %d", got, want)
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Without EnablePersistence, Flush and Fence are charged hints on fully
+// persistent RAM: nothing to lose, nothing to drain.
+func TestFlushIsHintWithoutPersistence(t *testing.T) {
+	var w Word
+	p := New(Config{})
+	p.Go("main", func(e *Env) {
+		e.Store(&w, 9)
+		e.Flush(&w)
+		e.Fence()
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Stats.Persists != 0 {
+		t.Errorf("non-persistent processor persisted %d words", p.Stats.Persists)
+	}
+	if p.DiscardUnflushed() != 0 || w != 9 {
+		t.Fatal("non-persistent processor lost a committed store")
+	}
+}
+
+// An injected CrashVolatile discards the volatile tier before stopping
+// the run; on the same schedule, legacy Crash keeps every committed
+// store — the two halves of the chaos crash contract.
+func TestCrashVolatileDiscardsUnflushed(t *testing.T) {
+	run := func(act chaos.Action) Word {
+		var w Word
+		p := New(Config{Faults: chaos.OneShot{Point: chaos.PointMemOp, N: 3, Action: act}})
+		p.EnablePersistence()
+		p.Go("main", func(e *Env) {
+			e.Store(&w, 1) // memop 1
+			e.Flush(&w)
+			e.Fence()      // w=1 is durable
+			e.Store(&w, 2) // memop 2
+			e.Store(&w, 3) // memop 3: the crash point
+			t.Error("crash did not fire")
+		})
+		if err := p.Run(); !errors.Is(err, ErrMachineCrash) {
+			t.Fatalf("Run = %v, want ErrMachineCrash", err)
+		}
+		return w
+	}
+	if got := run(chaos.Action{CrashVolatile: true}); got != 1 {
+		t.Errorf("after volatile crash w = %d, want 1 (last fenced value)", got)
+	}
+	if got := run(chaos.Action{Crash: true}); got != 3 {
+		t.Errorf("after fully-persistent crash w = %d, want 3 (every committed store survives)", got)
+	}
+}

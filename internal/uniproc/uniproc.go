@@ -45,6 +45,10 @@ type Stats struct {
 	Blocks      uint64 // threads blocking on a wait queue
 	Forks       uint64 // threads created
 
+	Flushes  uint64 // flush (write-back) operations issued
+	Fences   uint64 // persist barriers executed
+	Persists uint64 // words made durable by fences
+
 	Injected        uint64 // chaos actions applied (any kind)
 	Spurious        uint64 // injected spurious suspensions
 	WatchdogExtends uint64 // livelock watchdog quantum extensions granted
@@ -86,6 +90,15 @@ type Processor struct {
 	faults   chaos.Injector
 	watchdog chaos.Watchdog
 	memOps   uint64 // ordinal of Load/Store injection points
+
+	// NVRAM persistence model at word granularity (the runtime-layer
+	// analogue of vmach's 64-byte line buffer): nvShadow holds the NVM
+	// image of every word whose volatile contents have diverged, nvPending
+	// marks words whose write-back a flush initiated but no fence has yet
+	// made durable.
+	persist   bool
+	nvShadow  map[*Word]Word
+	nvPending map[*Word]bool
 
 	clock       uint64
 	sliceEnd    uint64
@@ -374,6 +387,62 @@ func (p *Processor) notifyDeath(t *Thread) {
 // the ordinal stream consulted at chaos.PointMemOp. A reference run's final
 // MemOps bounds the meaningful N for a chaos.OneShot kill schedule.
 func (p *Processor) MemOps() uint64 { return p.memOps }
+
+// EnablePersistence turns on the two-tier NVRAM persistence model: every
+// Store/Commit lands in a volatile tier, reaches the non-volatile tier
+// only through Env.Flush + Env.Fence, and an injected volatile crash
+// (chaos.Action.CrashVolatile) or an explicit DiscardUnflushed reverts
+// every unfenced word to its NVM image. Word granularity stands in for
+// vmach's 64-byte lines: this substrate has no addresses, and the paper's
+// argument needs only "some stores survive a crash and some do not".
+// Must be called before Run.
+func (p *Processor) EnablePersistence() {
+	p.persist = true
+	p.nvShadow = make(map[*Word]Word)
+	p.nvPending = make(map[*Word]bool)
+}
+
+// Persistent reports whether the persistence model is enabled.
+func (p *Processor) Persistent() bool { return p.persist }
+
+// shadowWord records w's NVM image before its first diverging store and
+// cancels any outstanding write-back — the conservative model never
+// persists a value the guest has since overwritten.
+func (p *Processor) shadowWord(w *Word) {
+	if !p.persist {
+		return
+	}
+	if _, dirty := p.nvShadow[w]; !dirty {
+		p.nvShadow[w] = *w
+	}
+	delete(p.nvPending, w)
+}
+
+// NVPeek reads the non-volatile tier: what w would hold after a crash
+// right now. Harness-only, like direct Word access.
+func (p *Processor) NVPeek(w *Word) Word {
+	if old, dirty := p.nvShadow[w]; dirty {
+		return old
+	}
+	return *w
+}
+
+// DiscardUnflushed reverts every word whose volatile contents were never
+// fenced to its NVM image — the memory side of a machine crash — and
+// returns how many words it reverted. Injected CrashVolatile faults call
+// it before stopping the run; harnesses may also call it on a finished
+// (crashed) processor before handing the surviving Words to a fresh one.
+func (p *Processor) DiscardUnflushed() int {
+	n := len(p.nvShadow)
+	for w, old := range p.nvShadow {
+		*w = old
+	}
+	if p.persist {
+		p.nvShadow = make(map[*Word]Word)
+		p.nvPending = make(map[*Word]bool)
+	}
+	return n
+}
 
 // CountHoldup records that a thread found a lock held by a suspended
 // holder; used to reproduce the paper's §5.3 "inflated critical section"

@@ -511,6 +511,12 @@ func (k *Kernel) injectStep(act chaos.Action) {
 		k.M.Mem.SetPresent(t.Ctx.Regs[isa.RegSP], false)
 	}
 	switch {
+	case act.CrashVolatile:
+		// The NVRAM-model crash: unflushed lines revert to their NVM
+		// images before the machine halts, so everything after the halt —
+		// checkpoints, recovery reboots — sees NVM contents only.
+		k.M.Mem.DiscardUnflushed()
+		k.crash()
 	case act.Crash:
 		k.crash()
 	case act.Kill:

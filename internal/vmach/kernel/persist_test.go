@@ -1,0 +1,250 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/vmach"
+)
+
+// persistMem returns a fresh memory with the two-tier persistence model on.
+func persistMem() *vmach.Memory {
+	m := vmach.NewMemory()
+	m.EnablePersistence()
+	return m
+}
+
+// persistConfig is the recovery-capable kernel configuration the
+// persistence tests run under.
+func persistConfig(mem *vmach.Memory, faults chaos.Injector) Config {
+	return Config{
+		Strategy: &Designated{},
+		CheckAt:  CheckAtResume,
+		Quantum:  300,
+		Memory:   mem,
+		Faults:   faults,
+		Watchdog: chaos.Watchdog{Policy: chaos.WatchdogExtend},
+	}
+}
+
+// TestCrashIsFullyPersistent pins the legacy contract satellite to the
+// chaos.Action.Crash doc: Crash models a machine with fully persistent
+// memory, so every committed store survives the halt — even on a memory
+// with the persistence model enabled, and even though nothing was ever
+// flushed. CrashVolatile on the same schedule is the contrast: the
+// unflushed counter reverts to its NVM image.
+func TestCrashIsFullyPersistent(t *testing.T) {
+	const crashAt = 2000
+	run := func(act chaos.Action) (counter isa.Word, increments int) {
+		mem := persistMem()
+		k, prog := boot(t, persistConfig(mem, chaos.OneShot{
+			Point: chaos.PointStep, N: crashAt, Action: act,
+		}), guest.RecoverableCounterProgram(2, 50))
+		counterAddr := prog.MustSymbol("counter")
+		mem.Watch(counterAddr, func(old, new isa.Word) { increments++ })
+		if err := k.Run(); !errors.Is(err, ErrMachineCrash) {
+			t.Fatalf("Run = %v, want ErrMachineCrash", err)
+		}
+		return mem.Peek(counterAddr), increments
+	}
+
+	c, r := run(chaos.Action{Crash: true})
+	if r == 0 {
+		t.Fatal("crash fired before any increment; pick a later step")
+	}
+	if int(c) != r {
+		t.Errorf("legacy Crash lost stores: counter=%d, %d increments committed", c, r)
+	}
+
+	cv, rv := run(chaos.Action{CrashVolatile: true})
+	if rv != r {
+		t.Fatalf("schedules diverged: %d vs %d increments", rv, r)
+	}
+	if cv != 0 {
+		t.Errorf("CrashVolatile kept an unflushed counter: %d, want 0 (NVM image)", cv)
+	}
+}
+
+// On a memory without the persistence model, CrashVolatile degrades to
+// Crash: there is no volatile tier to lose.
+func TestCrashVolatileDegradesToCrashOnPlainMemory(t *testing.T) {
+	k, prog := boot(t, Config{
+		Strategy: &Designated{},
+		CheckAt:  CheckAtResume,
+		Faults: chaos.OneShot{
+			Point: chaos.PointStep, N: 2000,
+			Action: chaos.Action{CrashVolatile: true},
+		},
+	}, guest.RecoverableCounterProgram(2, 50))
+	if err := k.Run(); !errors.Is(err, ErrMachineCrash) {
+		t.Fatalf("Run = %v, want ErrMachineCrash", err)
+	}
+	if got := k.M.Mem.Peek(prog.MustSymbol("counter")); got == 0 {
+		t.Error("CrashVolatile on plain memory lost committed stores")
+	}
+}
+
+// crashThenReboot runs a persistent counter program until an injected
+// volatile crash, then boots a fresh kernel over the surviving memory and
+// runs the same program (whose main repairs the lock before spawning
+// workers). It returns the NVM counter at the crash (C0), the number of
+// increments committed before it, and the rebooted kernel + program.
+func crashThenReboot(t *testing.T, src string, faults chaos.Injector) (c0 isa.Word, incrs int, k2 *Kernel, prog2 *program) {
+	t.Helper()
+	mem := persistMem()
+	k, prog := boot(t, persistConfig(mem, faults), src)
+	counterAddr := prog.MustSymbol("counter")
+	mem.Watch(counterAddr, func(old, new isa.Word) { incrs++ })
+	if err := k.Run(); !errors.Is(err, ErrMachineCrash) {
+		t.Fatalf("phase 1: Run = %v, want ErrMachineCrash", err)
+	}
+	// The injected CrashVolatile already discarded the volatile tier: what
+	// memory holds now is NVM contents only.
+	c0 = mem.Peek(counterAddr)
+	k2 = New(persistConfig(mem, nil))
+	// No Load on reboot: the program image is already durable in NVM, and
+	// reloading would also reset the very data words recovery must read.
+	k2.Spawn(prog.MustSymbol("main"), guest.StackTop(0))
+	return c0, incrs, k2, &program{prog.MustSymbol("counter"), prog.MustSymbol("lock"), prog.MustSymbol("repairs")}
+}
+
+type program struct{ counter, lock, repairs uint32 }
+
+// neverFire is an installed-but-inert injector: the fault ordinal counter
+// only advances while an injector is present, so calibration runs use this
+// to learn how many PointStep opportunities a workload offers.
+var neverFire = chaos.OneShot{Point: chaos.PointStep, N: 1 << 62}
+
+// calibrateSteps runs src uninjected and returns its PointStep count.
+func calibrateSteps(t *testing.T, src string) uint64 {
+	t.Helper()
+	k, _ := boot(t, persistConfig(persistMem(), neverFire), src)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if k.Steps() == 0 {
+		t.Fatal("calibration run offered no injection points")
+	}
+	return k.Steps()
+}
+
+// The well-flushed protocol: a volatile crash loses at most the latest
+// increment (P2 fences each one), and rebooting the same binary repairs
+// the lock and completes a full workload on top of the surviving counter.
+func TestPersistentCounterCrashRecovery(t *testing.T) {
+	const workers, iters = 2, 3
+	total := calibrateSteps(t, guest.PersistentCounterProgram(workers, iters))
+	for _, crashAt := range []uint64{total / 8, total / 3, total / 2, total - 5} {
+		if crashAt == 0 {
+			crashAt = 1
+		}
+		c0, incrs, k2, sym := crashThenReboot(t,
+			guest.PersistentCounterProgram(workers, iters),
+			chaos.OneShot{Point: chaos.PointStep, N: crashAt, Action: chaos.Action{CrashVolatile: true}})
+		if int(c0) < incrs-1 {
+			t.Errorf("crash@%d: NVM counter %d but %d increments committed; protocol lost more than one",
+				crashAt, c0, incrs)
+		}
+		if err := k2.Run(); err != nil {
+			t.Fatalf("crash@%d: reboot run: %v", crashAt, err)
+		}
+		want := c0 + workers*iters
+		if got := k2.M.Mem.Peek(sym.counter); got != want {
+			t.Errorf("crash@%d: counter after reboot = %d, want %d (C0=%d + %d new)",
+				crashAt, got, want, c0, workers*iters)
+		}
+		if owner := k2.M.Mem.Peek(sym.lock) & 0xFFFF; owner != 0 {
+			t.Errorf("crash@%d: lock still owned by %d after clean reboot", crashAt, owner)
+		}
+	}
+}
+
+// The deliberately under-flushed variant: increments pile up in the
+// volatile tier, so a late crash loses more than one — the violation the
+// model checker's persist-underflush entry exists to catch.
+func TestUnderflushedCounterLosesIncrements(t *testing.T) {
+	incrs := 0
+	fired := false
+	inj := injectorFunc(func(p chaos.Point, n uint64) chaos.Action {
+		if p == chaos.PointStep && !fired && incrs >= 3 {
+			fired = true
+			return chaos.Action{CrashVolatile: true}
+		}
+		return chaos.Action{}
+	})
+	mem := persistMem()
+	k, prog := boot(t, persistConfig(mem, inj), guest.UnderflushedCounterProgram(1, 6))
+	mem.Watch(prog.MustSymbol("counter"), func(old, new isa.Word) { incrs++ })
+	if err := k.Run(); !errors.Is(err, ErrMachineCrash) {
+		t.Fatalf("Run = %v, want ErrMachineCrash", err)
+	}
+	c0 := mem.Peek(prog.MustSymbol("counter"))
+	if int(c0) >= incrs-1 {
+		t.Errorf("under-flushed variant kept its counter (NVM %d of %d increments); the planted bug is gone",
+			c0, incrs)
+	}
+}
+
+type injectorFunc func(chaos.Point, uint64) chaos.Action
+
+func (f injectorFunc) At(p chaos.Point, n uint64) chaos.Action { return f(p, n) }
+
+// Satellite: a kill racing the persistent mutex's release path. The sweep
+// kills the running thread at every step of a short run — covering every
+// instruction of release (owner-clearing store, flush, fence) — and at
+// each schedule demands: the kernel survives, every counter store is an
+// increment-by-one taken with the lock held, and the surviving worker's
+// iterations all land (orphaned locks are stolen, so one kill never
+// strands the counter).
+func TestPersistentReleasePathKillSweep(t *testing.T) {
+	const workers, iters = 2, 2
+	src := guest.PersistentCounterProgram(workers, iters)
+
+	total := calibrateSteps(t, src) // bounds the sweep
+	for at := uint64(1); at <= total; at++ {
+		mem := persistMem()
+		k, prog := boot(t, persistConfig(mem, chaos.OneShot{
+			Point: chaos.PointStep, N: at, Action: chaos.Action{Kill: true},
+		}), src)
+		counterAddr := prog.MustSymbol("counter")
+		lockAddr := prog.MustSymbol("lock")
+		violations := 0
+		incrs := 0
+		mem.Watch(counterAddr, func(old, new isa.Word) {
+			incrs++
+			if new != old+1 {
+				violations++
+			}
+			if mem.Peek(lockAddr)&0xFFFF == 0 {
+				violations++ // increment outside the critical section
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatalf("kill@%d: %v", at, err)
+		}
+		if violations != 0 {
+			t.Fatalf("kill@%d: %d mutual-exclusion violations", at, violations)
+		}
+		if got := int(mem.Peek(counterAddr)); got != incrs {
+			t.Fatalf("kill@%d: counter %d but %d increments observed", at, got, incrs)
+		}
+		// No stuck acquirer: a stranded lock would leave a worker yielding
+		// forever (ending the run in ErrBudget, caught above) or a thread in
+		// a non-terminal state here.
+		for _, th := range k.Threads() {
+			if th.State != StateDone && th.State != StateKilled {
+				t.Fatalf("kill@%d: thread %d finished in state %v", at, th.ID, th.State)
+			}
+		}
+		if k.Stats.Kills != 1 {
+			t.Fatalf("kill@%d: Kills = %d, want exactly 1", at, k.Stats.Kills)
+		}
+	}
+	if testing.Verbose() {
+		fmt.Printf("kill sweep covered %d schedules\n", total)
+	}
+}

@@ -58,6 +58,12 @@ type Stats struct {
 	// coherence cost model added to its clock.
 	RMRs            uint64
 	CoherenceCycles uint64
+	// Persistence accounting: flush/fence instructions retired, lines made
+	// durable by fences, and the NVM write-back cycles fences paid.
+	Flushes        uint64
+	Fences         uint64
+	LinesPersisted uint64
+	PersistCycles  uint64
 }
 
 // CoherenceHook prices one committed data-memory access when the machine
@@ -343,6 +349,23 @@ func (m *Machine) Step(ctx *Context) Event {
 			set(inst.Rt, 0)
 		}
 		m.resValid = false
+
+	case isa.OpFLUSH:
+		addr := reg(inst.Rs) + isa.Word(inst.Imm)
+		if _, f := m.Mem.FlushLine(addr); f != nil {
+			return Event{Kind: EventFault, Fault: f}
+		}
+		m.Stats.Flushes++
+
+	case isa.OpFENCE:
+		// The fence cannot retire until every initiated write-back has
+		// reached NVM; it pays the per-line drain latency on the spot.
+		n := uint64(m.Mem.Fence())
+		m.Stats.Fences++
+		m.Stats.LinesPersisted += n
+		drain := n * uint64(m.Profile.PersistDrainCycles)
+		m.Stats.Cycles += drain
+		m.Stats.PersistCycles += drain
 
 	case isa.OpLOCKB:
 		if !m.Profile.HasLockBit {

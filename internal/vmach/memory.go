@@ -61,6 +61,15 @@ type Memory struct {
 	// PageFaults counts not-present faults taken.
 	PageFaults uint64
 
+	// Two-tier persistence (see persist.go). When persist is false —
+	// the default — memory is fully persistent RAM and the maps stay nil.
+	// nvLines holds the NVM image of every line whose volatile contents
+	// differ from it; pending marks lines with an initiated (flush) but
+	// not yet durable (fence) write-back.
+	persist bool
+	nvLines map[uint32]*[LineWords]isa.Word
+	pending map[uint32]bool
+
 	// watchers, keyed by word address, observe committed stores. Harness
 	// state, not machine state: snapshots do not capture them.
 	watchers map[uint32][]func(old, new isa.Word)
@@ -125,6 +134,9 @@ func (m *Memory) StoreWord(addr uint32, v isa.Word) *Fault {
 	if f := m.check(addr); f != nil {
 		return f
 	}
+	if m.persist {
+		m.shadow(addr)
+	}
 	p := m.page(addr)
 	i := addr >> 2 & (PageWords - 1)
 	old := p[i]
@@ -152,9 +164,14 @@ func (m *Memory) Peek(addr uint32) isa.Word {
 	return m.page(addr)[addr>>2&(PageWords-1)]
 }
 
-// Poke writes a word ignoring presence bits.
+// Poke writes a word ignoring presence bits. It writes through to both
+// persistence tiers: harness writes (program loading, test setup) are
+// durable by construction, not subject to the flush/fence discipline.
 func (m *Memory) Poke(addr uint32, v isa.Word) {
 	m.page(addr)[addr>>2&(PageWords-1)] = v
+	if img, dirty := m.nvLines[addr>>LineShift]; dirty {
+		img[addr>>2&(LineWords-1)] = v
+	}
 }
 
 // LoadProgramWords copies words into memory starting at base.

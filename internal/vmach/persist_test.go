@@ -1,0 +1,246 @@
+package vmach
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/asm"
+)
+
+// Store → flush → fence walks a word across the tiers: volatile first,
+// durable only after the fence.
+func TestPersistenceTiers(t *testing.T) {
+	m := NewMemory()
+	m.Poke(0x1000, 7) // pre-persistence contents are durable by definition
+	m.EnablePersistence()
+	if err := m.StoreWord(0x1000, 42); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Peek(0x1000); got != 42 {
+		t.Fatalf("volatile tier = %d, want 42", got)
+	}
+	if got := m.NVPeek(0x1000); got != 7 {
+		t.Fatalf("NVM tier = %d before flush, want 7", got)
+	}
+	if dirty, f := m.FlushLine(0x1000); f != nil || !dirty {
+		t.Fatalf("FlushLine = (%v, %v), want (true, nil)", dirty, f)
+	}
+	if got := m.NVPeek(0x1000); got != 7 {
+		t.Fatalf("NVM tier = %d after flush but before fence, want 7", got)
+	}
+	if n := m.Fence(); n != 1 {
+		t.Fatalf("Fence persisted %d lines, want 1", n)
+	}
+	if got := m.NVPeek(0x1000); got != 42 {
+		t.Fatalf("NVM tier = %d after fence, want 42", got)
+	}
+	if m.DirtyLines() != nil || m.PendingLines() != nil {
+		t.Fatal("persistence buffer not empty after fence")
+	}
+	if n := m.DiscardUnflushed(); n != 0 {
+		t.Fatalf("discard reverted %d lines after full persist, want 0", n)
+	}
+	if got := m.Peek(0x1000); got != 42 {
+		t.Fatalf("word = %d after crash, want 42 (it was fenced)", got)
+	}
+}
+
+// A store to a flushed-but-unfenced line cancels the outstanding
+// write-back: the conservative model never persists a value the guest has
+// already overwritten.
+func TestStoreCancelsPendingWriteback(t *testing.T) {
+	m := NewMemory()
+	m.EnablePersistence()
+	m.StoreWord(0x2000, 1)
+	m.FlushLine(0x2000)
+	m.StoreWord(0x2000, 2) // cancels the pending write-back
+	if n := m.Fence(); n != 0 {
+		t.Fatalf("Fence persisted %d lines, want 0 (write-back was cancelled)", n)
+	}
+	if n := m.DiscardUnflushed(); n != 1 {
+		t.Fatalf("discard reverted %d lines, want 1", n)
+	}
+	if got := m.Peek(0x2000); got != 0 {
+		t.Fatalf("word = %d after crash, want 0 (neither store was fenced)", got)
+	}
+}
+
+// A crash reverts exactly the unfenced lines; fenced ones keep their
+// volatile contents.
+func TestDiscardUnflushedRevertsOnlyUnfenced(t *testing.T) {
+	m := NewMemory()
+	m.EnablePersistence()
+	m.StoreWord(0x1000, 10) // line A: flushed and fenced
+	m.StoreWord(0x1040, 20) // line B: left dirty
+	m.FlushLine(0x1000)
+	m.Fence()
+	if n := m.DiscardUnflushed(); n != 1 {
+		t.Fatalf("discard reverted %d lines, want 1", n)
+	}
+	if a, b := m.Peek(0x1000), m.Peek(0x1040); a != 10 || b != 0 {
+		t.Fatalf("after crash: A=%d B=%d, want A=10 B=0", a, b)
+	}
+}
+
+// Flushing a clean (or never-touched) line is a no-op, and a fence with an
+// empty write buffer persists nothing.
+func TestFlushCleanLineAndEmptyFence(t *testing.T) {
+	m := NewMemory()
+	m.EnablePersistence()
+	if dirty, f := m.FlushLine(0x5000); f != nil || dirty {
+		t.Fatalf("flush of untouched line = (%v, %v), want (false, nil)", dirty, f)
+	}
+	if n := m.Fence(); n != 0 {
+		t.Fatalf("empty fence persisted %d lines", n)
+	}
+}
+
+// Flush respects page presence like any other memory reference.
+func TestFlushNotPresentPageFaults(t *testing.T) {
+	m := NewMemory()
+	m.EnablePersistence()
+	m.StoreWord(0x3000, 5)
+	m.SetPresent(0x3000, false)
+	_, f := m.FlushLine(0x3000)
+	if f == nil || f.Kind != FaultNotPresent {
+		t.Fatalf("flush of not-present page = %v, want FaultNotPresent", f)
+	}
+	if m.PageFaults != 1 {
+		t.Fatalf("PageFaults = %d, want 1", m.PageFaults)
+	}
+	m.SetPresent(0x3000, true) // serviceable: present again, flush succeeds
+	if dirty, f := m.FlushLine(0x3000); f != nil || !dirty {
+		t.Fatalf("flush after page-in = (%v, %v), want (true, nil)", dirty, f)
+	}
+}
+
+// Without EnablePersistence, flush and fence are hints on fully
+// persistent RAM and a crash loses nothing.
+func TestFlushIsHintWithoutPersistence(t *testing.T) {
+	m := NewMemory()
+	m.StoreWord(0x1000, 9)
+	if dirty, f := m.FlushLine(0x1000); f != nil || dirty {
+		t.Fatalf("flush on non-persistent memory = (%v, %v), want (false, nil)", dirty, f)
+	}
+	if n := m.Fence(); n != 0 {
+		t.Fatalf("fence on non-persistent memory persisted %d lines", n)
+	}
+	if m.DiscardUnflushed() != 0 || m.Peek(0x1000) != 9 {
+		t.Fatal("non-persistent memory lost a committed store")
+	}
+}
+
+// The interpreter: flush/fence execute, count, and charge the profile's
+// persist costs — the drain paid per line actually persisted.
+func TestMachineFlushFenceStats(t *testing.T) {
+	prog, err := asm.Assemble(`
+		li   t0, 0x3000
+		li   t1, 1
+		sw   t1, 0(t0)
+		sw   t1, 64(t0)
+		flush 0(t0)
+		flush 64(t0)
+		fence
+		fence
+		break
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := arch.R3000()
+	m := New(p)
+	m.Mem.EnablePersistence()
+	m.Mem.LoadProgramWords(prog.TextBase, prog.Text)
+	ctx := &Context{PC: prog.TextBase}
+	for i := 0; ; i++ {
+		ev := m.Step(ctx)
+		if ev.Kind == EventBreak {
+			break
+		}
+		if ev.Kind != EventNone || i > 100 {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	}
+	if m.Stats.Flushes != 2 || m.Stats.Fences != 2 {
+		t.Fatalf("Flushes=%d Fences=%d, want 2/2", m.Stats.Flushes, m.Stats.Fences)
+	}
+	if m.Stats.LinesPersisted != 2 {
+		t.Fatalf("LinesPersisted=%d, want 2 (second fence found an empty buffer)", m.Stats.LinesPersisted)
+	}
+	if want := 2 * uint64(p.PersistDrainCycles); m.Stats.PersistCycles != want {
+		t.Fatalf("PersistCycles=%d, want %d", m.Stats.PersistCycles, want)
+	}
+	if m.Mem.NVPeek(0x3000) != 1 || m.Mem.NVPeek(0x3040) != 1 {
+		t.Fatal("fenced lines did not reach NVM")
+	}
+}
+
+// A machine-level flush of a not-present page raises a serviceable fault,
+// exactly like a load or store would.
+func TestMachineFlushFaultsOnNotPresentPage(t *testing.T) {
+	prog, err := asm.Assemble(`
+		li   t0, 0x3000
+		flush 0(t0)
+		break
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(arch.R3000())
+	m.Mem.EnablePersistence()
+	m.Mem.LoadProgramWords(prog.TextBase, prog.Text)
+	m.Mem.StoreWord(0x3000, 1)
+	m.Mem.SetPresent(0x3000, false)
+	ctx := &Context{PC: prog.TextBase}
+	var ev Event
+	for i := 0; i < 10; i++ {
+		ev = m.Step(ctx)
+		if ev.Kind != EventNone {
+			break
+		}
+	}
+	if ev.Kind != EventFault || ev.Fault.Kind != FaultNotPresent || ev.Fault.Addr != 0x3000 {
+		t.Fatalf("event = %+v, want not-present fault at 0x3000", ev)
+	}
+	m.Mem.SetPresent(0x3000, true) // service the fault and retry
+	for i := 0; ; i++ {
+		ev = m.Step(ctx)
+		if ev.Kind == EventBreak {
+			break
+		}
+		if ev.Kind != EventNone || i > 10 {
+			t.Fatalf("after page-in: %+v", ev)
+		}
+	}
+	if len(m.Mem.PendingLines()) != 1 {
+		t.Fatal("retried flush did not initiate the write-back")
+	}
+}
+
+// Snapshots carry the full persistence state: capture → restore → capture
+// is a fixpoint, and a restored memory crashes identically.
+func TestSnapshotRoundTripsPersistenceState(t *testing.T) {
+	m := NewMemory()
+	m.EnablePersistence()
+	m.StoreWord(0x1000, 1) // dirty
+	m.StoreWord(0x1040, 2) // dirty + pending
+	m.FlushLine(0x1040)
+	img := m.Capture()
+	if !img.Persist || len(img.NVLines) != 2 || len(img.PendingLines) != 1 {
+		t.Fatalf("capture: persist=%v nv=%d pending=%d", img.Persist, len(img.NVLines), len(img.PendingLines))
+	}
+	m2 := NewMemory()
+	m2.Restore(img)
+	if !reflect.DeepEqual(m2.Capture(), img) {
+		t.Fatal("capture/restore/capture is not a fixpoint")
+	}
+	m2.Fence() // the restored pending write-back completes...
+	if got := m2.NVPeek(0x1040); got != 2 {
+		t.Fatalf("restored pending line fenced to %d, want 2", got)
+	}
+	m2.DiscardUnflushed() // ...and the restored dirty line still reverts
+	if a, b := m2.Peek(0x1000), m2.Peek(0x1040); a != 0 || b != 2 {
+		t.Fatalf("after restore+fence+crash: %d/%d, want 0/2", a, b)
+	}
+}

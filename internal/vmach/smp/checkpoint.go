@@ -16,8 +16,12 @@ import (
 // bit-identical — which FuzzSMPCheckpoint checks.
 
 const (
-	smpMagic   = "RASSMP\x00\x00"
-	smpVersion = 1
+	smpMagic = "RASSMP\x00\x00"
+	// Version 2 tracks the kernel checkpoint format's v3 bump: the shared
+	// memory image it embeds (via kernel.EncodeMemoryImage, which carries
+	// no header of its own) grew persistence sections. Version-1 blobs are
+	// rejected — the embedded layout is ambiguous without the bump.
+	smpVersion = 2
 )
 
 // ErrBadSnapshot matches (with errors.Is) every SMP snapshot decode error.

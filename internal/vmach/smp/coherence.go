@@ -21,8 +21,9 @@ import (
 )
 
 // LineShift sets the coherence granularity: 1<<LineShift bytes per line
-// (64, a typical L2 line).
-const LineShift = 6
+// (64, a typical L2 line). It is the same geometry the persistence model
+// uses for its volatile write-back buffer (vmach.LineShift).
+const LineShift = vmach.LineShift
 
 // Mode selects how remote memory references are counted, following the
 // RME literature's two machine models.

@@ -12,14 +12,30 @@ type PageImage struct {
 	Words [PageWords]isa.Word
 }
 
-// MemoryImage is a deterministic value snapshot of a Memory: pages and
-// not-present page numbers are sorted, so two captures of identical
-// memories are deeply equal (and encode to identical bytes). Watchpoints
-// are harness state and are not part of the image.
+// LineImage is the NVM image of one 64-byte line whose volatile contents
+// differ from it.
+type LineImage struct {
+	LN    uint32 // line number (addr >> LineShift)
+	Words [LineWords]isa.Word
+}
+
+// MemoryImage is a deterministic value snapshot of a Memory: pages,
+// not-present page numbers, and the persistence tier (NVM line images and
+// pending write-backs) are sorted, so two captures of identical memories
+// are deeply equal (and encode to identical bytes). Watchpoints are
+// harness state and are not part of the image.
 type MemoryImage struct {
 	Pages      []PageImage
 	NotPresent []uint32
 	PageFaults uint64
+
+	// Two-tier persistence state. Persist records whether the model is
+	// enabled; NVLines and PendingLines mirror Memory.nvLines/pending.
+	// All empty on fully persistent (legacy) memories — and in every
+	// pre-PR-6 (version 2) checkpoint, which decodes to exactly that.
+	Persist      bool
+	NVLines      []LineImage
+	PendingLines []uint32
 }
 
 // Capture snapshots the memory.
@@ -37,6 +53,11 @@ func (m *Memory) Capture() *MemoryImage {
 		img.NotPresent = append(img.NotPresent, pn)
 	}
 	sort.Slice(img.NotPresent, func(i, j int) bool { return img.NotPresent[i] < img.NotPresent[j] })
+	img.Persist = m.persist
+	for _, ln := range m.DirtyLines() {
+		img.NVLines = append(img.NVLines, LineImage{LN: ln, Words: *m.nvLines[ln]})
+	}
+	img.PendingLines = m.PendingLines()
 	return img
 }
 
@@ -53,6 +74,19 @@ func (m *Memory) Restore(img *MemoryImage) {
 		m.notPresent[pn] = true
 	}
 	m.PageFaults = img.PageFaults
+	m.persist = img.Persist
+	m.nvLines, m.pending = nil, nil
+	if img.Persist {
+		m.nvLines = make(map[uint32]*[LineWords]isa.Word, len(img.NVLines))
+		m.pending = make(map[uint32]bool, len(img.PendingLines))
+		for i := range img.NVLines {
+			w := img.NVLines[i].Words // copy: the image stays pristine
+			m.nvLines[img.NVLines[i].LN] = &w
+		}
+		for _, ln := range img.PendingLines {
+			m.pending[ln] = true
+		}
+	}
 }
 
 // MachineImage is a value snapshot of a Machine: execution statistics, the
