@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos recovery smp persist examples check fuzz fmt lint vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery smp persist journal examples check fuzz fmt lint vet clean tier1
 
 all: build vet test
 
@@ -50,6 +50,14 @@ smp:
 persist:
 	$(GO) run ./cmd/rasbench -table persist
 	$(GO) test -run 'Persist|Underflush' ./internal/mcheck/
+
+# Crash-consistent journaling (E24): undo vs redo WAL passage costs on
+# both substrates, torn-crash sweeps, memfs journal replay, and the
+# exhaustive crash-at-every-flush/fence-boundary walks; the dedicated
+# mcheck journal tests run alongside.
+journal:
+	$(GO) run ./cmd/rasbench -table journal
+	$(GO) test -run 'Journal|Pstruct|Memfs' ./internal/mcheck/
 
 examples:
 	$(GO) run ./examples/quickstart

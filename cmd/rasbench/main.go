@@ -50,7 +50,7 @@ type benchOpts struct {
 
 func main() {
 	var o benchOpts
-	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,smp,all")
+	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,journal,smp,all")
 	flag.IntVar(&o.iters, "iters", 20000, "microbenchmark loop iterations")
 	flag.IntVar(&o.scale, "scale", 1, "table 3 workload multiplier")
 	flag.Uint64Var(&o.seed, "seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
@@ -78,13 +78,15 @@ func run(table string, iters, scale int, seed uint64, level float64, timeout uin
 // tableResult is one -json record: the aggregate substrate counters behind
 // one regenerated table.
 type tableResult struct {
-	Name        string         `json:"name"`
-	Runs        int            `json:"runs"`
-	Cycles      uint64         `json:"cycles"`
-	Restarts    uint64         `json:"restarts"`
-	Preemptions uint64         `json:"preemptions"`
-	Traps       uint64         `json:"traps"`
-	SMP         []bench.SMPRow `json:"smp,omitempty"` // row-level detail for -table smp
+	Name        string             `json:"name"`
+	Runs        int                `json:"runs"`
+	Cycles      uint64             `json:"cycles"`
+	Restarts    uint64             `json:"restarts"`
+	Preemptions uint64             `json:"preemptions"`
+	Traps       uint64             `json:"traps"`
+	SMP         []bench.SMPRow     `json:"smp,omitempty"`     // row-level detail for -table smp
+	Persist     []bench.PersistRow `json:"persist,omitempty"` // row-level detail for -table persist
+	Journal     []bench.JournalRow `json:"journal,omitempty"` // row-level detail for -table journal
 }
 
 // parseCPUList turns "-cpus 1,2,4" into []int{1, 2, 4}.
@@ -126,7 +128,9 @@ func runOpts(o benchOpts) error {
 	}
 
 	var results []tableResult
-	var smpRows []bench.SMPRow // row-level detail captured by the smp step
+	var smpRows []bench.SMPRow         // row-level detail captured by the smp step
+	var persistRows []bench.PersistRow // row-level detail captured by the persist step
+	var journalRows []bench.JournalRow // row-level detail captured by the journal step
 	runTable := func(name, title string, fn func() (string, error)) error {
 		if !all && o.table != name {
 			return nil
@@ -143,7 +147,7 @@ func runOpts(o benchOpts) error {
 		results = append(results, tableResult{Name: name, Runs: rs.Runs,
 			Cycles: rs.Cycles, Restarts: rs.Restarts,
 			Preemptions: rs.Preemptions, Traps: rs.EmulTraps,
-			SMP: smpRows})
+			SMP: smpRows, Persist: persistRows, Journal: journalRows})
 		return nil
 	}
 
@@ -279,7 +283,21 @@ func runOpts(o benchOpts) error {
 			if err != nil {
 				return "", err
 			}
+			persistRows = rows
 			return bench.FormatPersist(rows), nil
+		}},
+		{"journal", "Journaling sweep: undo vs redo WAL, torn crashes, replay (E24)", func() (string, error) {
+			cfg := bench.DefaultJournalConfig()
+			if o.seed != 0 {
+				cfg.Seed = o.seed
+			}
+			cfg.MaxCycles = o.timeout
+			rows, err := bench.TableJournal(cfg)
+			if err != nil {
+				return "", err
+			}
+			journalRows = rows
+			return bench.FormatJournal(rows), nil
 		}},
 		{"smp", "SMP sweep: §7 hybrid RAS+spinlock vs pure spinlock vs ll/sc", func() (string, error) {
 			cfg := bench.DefaultSMPConfig()

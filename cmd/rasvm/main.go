@@ -9,6 +9,9 @@
 //	rasvm -demo recoverable -kill-at 5000,9000       # orphan + repair
 //	rasvm -demo persistent -crash-at 4000            # NVRAM: crash, reboot,
 //	                                                 # recover from NVM alone
+//	rasvm -demo journal -crash-at 300                # WAL: crash mid-txn,
+//	                                                 # dump NVM, reboot, replay
+//	rasvm -demo journal -log nofence -crash-at 300 -torn   # the planted bug
 //	rasvm -demo counter -crash-at 8000 -checkpoint ck.bin
 //	rasvm -restore ck.bin                            # replay the rest
 //	rasvm -replay-sched cex.sched -trace-out t.json  # re-run a rascheck
@@ -21,7 +24,13 @@
 // crash-consistent variant on the two-tier NVRAM memory — with -crash-at
 // the injected crash DISCARDS unflushed lines, and the same binary then
 // reboots over the surviving NVM image, repairs the lock, and completes
-// the workload; "smp" runs the shared counter on
+// the workload; "journal" runs the logged two-word transaction guest
+// (-log picks redo, undo, or the deliberately broken nofence) — with
+// -crash-at the demo dumps the NVM image the crash left behind, decides
+// from the surviving log record alone whether the in-flight transaction
+// committed, reboots without reloading, and verifies the recovered state
+// (-torn makes the crash a torn write that persists only a prefix of
+// each in-flight line); "smp" runs the shared counter on
 // a multi-CPU system (-cpus) under the §7 hybrid RAS+spinlock (-lock
 // picks hybrid, spinlock, llsc, or the unsound ras-only control). The
 // final counter value and kernel statistics are printed, so the effect of
@@ -65,6 +74,8 @@ type options struct {
 	maxRestarts             uint64
 	killAt                  string // comma-separated retired-instruction steps
 	crashAt                 uint64 // whole-machine crash step (0 = none)
+	torn                    bool   // -crash-at is a torn-write crash (persist demos)
+	logMode                 string // -demo journal: redo, undo, nofence
 	checkpoint              string // snapshot file to write
 	checkpointAt            uint64 // step to checkpoint at (0 = only at crash)
 	restore                 string // snapshot file to resume from
@@ -80,7 +91,7 @@ type options struct {
 }
 
 // demos lists the built-in workloads -demo accepts.
-var demos = []string{"counter", "recoverable", "persistent", "smp"}
+var demos = []string{"counter", "recoverable", "persistent", "journal", "smp"}
 
 func main() {
 	var o options
@@ -99,6 +110,8 @@ func main() {
 	flag.Uint64Var(&o.maxRestarts, "maxrestarts", 0, "watchdog consecutive-restart threshold (0 = default 32)")
 	flag.StringVar(&o.killAt, "kill-at", "", "kill the running thread at these retired-instruction steps (comma-separated)")
 	flag.Uint64Var(&o.crashAt, "crash-at", 0, "inject a whole-machine crash at this step (0 = none)")
+	flag.BoolVar(&o.torn, "torn", false, "make -crash-at a torn-write crash: pending lines persist only a word prefix (persistent/journal demos)")
+	flag.StringVar(&o.logMode, "log", "redo", "-demo journal: logging discipline: redo, undo, nofence (planted bug)")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "write a binary machine snapshot to this file (at -checkpoint-at, or where a crash struck)")
 	flag.Uint64Var(&o.checkpointAt, "checkpoint-at", 0, "retired-instruction step to checkpoint at (0 = only at crash)")
 	flag.StringVar(&o.restore, "restore", "", "resume from a snapshot file instead of loading a program")
@@ -134,6 +147,9 @@ func run(o options) error {
 	}
 	if o.demo == "persistent" {
 		return runPersistent(o)
+	}
+	if o.demo == "journal" {
+		return runJournal(o)
 	}
 	prof := arch.ByName(o.arch)
 	if prof == nil {
@@ -372,7 +388,7 @@ func runPersistent(o options) error {
 	var faults chaos.Injector
 	if o.crashAt > 0 {
 		faults = chaos.OneShot{Point: chaos.PointStep, N: o.crashAt,
-			Action: chaos.Action{CrashVolatile: true}}
+			Action: chaos.Action{CrashVolatile: true, Torn: o.torn}}
 	}
 	counter := prog.MustSymbol("counter")
 	lock := prog.MustSymbol("lock")
@@ -418,6 +434,110 @@ func runPersistent(o options) error {
 		lw, int32(lw&0xFFFF)-1, lw>>16, mem.Peek(repairs))
 	fmt.Printf("persists:      %d flushes, %d fences, %d lines drained (%d cycles)\n",
 		k.M.Stats.Flushes, k.M.Stats.Fences, k.M.Stats.LinesPersisted, k.M.Stats.PersistCycles)
+	return nil
+}
+
+// runJournal demonstrates the crash-consistent journaling discipline end
+// to end: the guest increments two NVM words inside a logged transaction,
+// -crash-at kills the machine mid-transaction (optionally with -torn
+// write-backs), the demo dumps the NVM image the crash left behind and
+// decides — from the surviving log record alone, exactly as the guest's
+// own recovery path will — whether the in-flight transaction committed,
+// then reboots the same binary over the surviving image and verifies the
+// recovered state. With -log nofence the record never reaches NVM, and a
+// torn crash that splits the two data write-backs leaves the words
+// unequal with nothing to repair them from: the demo reports the
+// inconsistency instead of hiding it.
+func runJournal(o options) error {
+	var src string
+	switch o.logMode {
+	case "redo", "undo":
+		src = guest.JournalProgram(o.logMode, o.iters)
+	case "nofence":
+		src = guest.NoFenceJournalProgram(o.iters)
+	default:
+		return fmt.Errorf("-demo journal: unknown -log %q (redo, undo, nofence)", o.logMode)
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return err
+	}
+	mem := vmach.NewMemory()
+	mem.EnablePersistence()
+	boot := func(faults chaos.Injector, load bool) *kernel.Kernel {
+		k := kernel.New(kernel.Config{
+			Strategy: &kernel.Designated{}, CheckAt: kernel.CheckAtResume,
+			Quantum: o.quantum, MaxCycles: o.timeout, Memory: mem, Faults: faults,
+		})
+		if load {
+			k.Load(prog)
+		}
+		k.Spawn(prog.MustSymbol("main"), guest.StackTop(0))
+		return k
+	}
+	var faults chaos.Injector
+	if o.crashAt > 0 {
+		faults = chaos.OneShot{Point: chaos.PointStep, N: o.crashAt,
+			Action: chaos.Action{CrashVolatile: true, Torn: o.torn}}
+	}
+	jlog := prog.MustSymbol("jlog")
+	applied := prog.MustSymbol("applied")
+	va := prog.MustSymbol("va")
+	vb := prog.MustSymbol("vb")
+
+	fmt.Printf("demo:          journal (-log %s, target %d, %d-byte persistence lines)\n",
+		o.logMode, o.iters, vmach.LineBytes)
+	k := boot(faults, true)
+	runErr := k.Run()
+	recovered := false
+	if o.crashAt > 0 {
+		if !errors.Is(runErr, kernel.ErrMachineCrash) {
+			return fmt.Errorf("the guest finished before step %d (run = %v); try a smaller -crash-at", o.crashAt, runErr)
+		}
+		// The injected crash already discarded the volatile tier: the
+		// memory now holds the NVM image alone. Read the surviving record
+		// and judge it the way the guest's recovery path will.
+		kind := "clean"
+		if o.torn {
+			kind = "torn"
+		}
+		seq, xa, xb, ck := mem.Peek(jlog), mem.Peek(jlog+4), mem.Peek(jlog+8), mem.Peek(jlog+12)
+		ap := mem.Peek(applied)
+		verdict := "stale (seq != applied+1): nothing in flight"
+		if guest.JournalCksum(seq, xa, xb) != ck {
+			verdict = "invalid checksum: torn or never flushed, data untouched"
+		} else if seq == ap+1 {
+			verdict = "commits: recovery will repair va and vb from it"
+		}
+		fmt.Printf("crash:         %s, volatile tier discarded at step %d\n", kind, o.crashAt)
+		fmt.Printf("NVM state:     va=%d vb=%d applied=%d\n", mem.Peek(va), mem.Peek(vb), ap)
+		fmt.Printf("NVM record:    seq=%d xa=%d xb=%d ck=%#x — %s\n", seq, xa, xb, ck, verdict)
+		fmt.Printf("boot 1:        %d flushes, %d fences, %d lines persisted\n",
+			k.M.Stats.Flushes, k.M.Stats.Fences, k.M.Stats.LinesPersisted)
+		k = boot(nil, false) // reboot: program image and journal are in NVM
+		if err := k.Run(); err != nil {
+			return fmt.Errorf("reboot run: %w", err)
+		}
+		recovered = true
+	} else if runErr != nil {
+		return runErr
+	}
+
+	a, b := mem.Peek(va), mem.Peek(vb)
+	status := "CONSISTENT"
+	if recovered {
+		status = "RECOVERED"
+	}
+	if a != b || a != uint32(o.iters) {
+		status = "INCONSISTENT"
+	}
+	fmt.Printf("va / vb:       %d / %d (target %d)  [%s]\n", a, b, o.iters, status)
+	fmt.Printf("transactions:  %d applied\n", mem.Peek(applied))
+	fmt.Printf("persists:      %d flushes, %d fences, %d lines drained (%d cycles)\n",
+		k.M.Stats.Flushes, k.M.Stats.Fences, k.M.Stats.LinesPersisted, k.M.Stats.PersistCycles)
+	if status == "INCONSISTENT" {
+		return fmt.Errorf("journal %s: recovered state is inconsistent (va=%d vb=%d)", o.logMode, a, b)
+	}
 	return nil
 }
 

@@ -44,6 +44,13 @@ const (
 	// PointMemOp: one guest Load/Store on the virtual uniprocessor — the
 	// runtime layer's preemption points.
 	PointMemOp
+	// PointPersist: one persist operation (a flush or a fence) retired on
+	// the virtual uniprocessor. Crash faults land here so a schedule can
+	// name "the k-th persist boundary" directly — the ordinal space the
+	// model checker's journal and persistent-structure walks enumerate.
+	// Only the crash kinds (Crash, CrashVolatile, Torn) are honoured at
+	// this point; persist operations are not preemption points.
+	PointPersist
 )
 
 func (p Point) String() string {
@@ -56,6 +63,8 @@ func (p Point) String() string {
 		return "step"
 	case PointMemOp:
 		return "memop"
+	case PointPersist:
+		return "persist"
 	}
 	return "?"
 }
@@ -100,12 +109,20 @@ type Action struct {
 	// failure mode the recoverable-mutex literature assumes. On memories
 	// without the persistence model enabled it degrades to Crash.
 	CrashVolatile bool
+	// Torn modifies CrashVolatile: instead of losing every unfenced line
+	// cleanly, lines whose write-back was initiated (flushed) but not yet
+	// fenced persist only a PREFIX of their words — the torn-write failure
+	// mode of real NVM controllers, where power is lost halfway through
+	// draining a line. The prefix length is derived deterministically from
+	// the crash ordinal, so a torn crash replays exactly. Meaningless
+	// without CrashVolatile; ignored on non-persistent memories.
+	Torn bool
 }
 
 // Any reports whether the action requests any fault at all.
 func (a Action) Any() bool {
 	return a.Preempt || a.SpuriousSuspend || a.EvictCode || a.EvictData ||
-		a.Jitter != 0 || a.Kill || a.Crash || a.CrashVolatile
+		a.Jitter != 0 || a.Kill || a.Crash || a.CrashVolatile || a.Torn
 }
 
 // Bits packs the action's flags for compact trace output.
@@ -131,6 +148,9 @@ func (a Action) Bits() uint64 {
 	}
 	if a.CrashVolatile {
 		b |= 64
+	}
+	if a.Torn {
+		b |= 128
 	}
 	return b
 }
@@ -299,6 +319,7 @@ func (c composed) At(p Point, n uint64) Action {
 		a.Kill = a.Kill || x.Kill
 		a.Crash = a.Crash || x.Crash
 		a.CrashVolatile = a.CrashVolatile || x.CrashVolatile
+		a.Torn = a.Torn || x.Torn
 		a.Jitter += x.Jitter
 	}
 	return a

@@ -1,0 +1,300 @@
+// Package journal is a crash-consistent write-ahead log on the NVRAM
+// persistence model (PR 6): checksummed, sequence-numbered records are
+// flushed and fenced BEFORE the in-place update they describe, so the
+// durable log always runs ahead of the volatile state it shadows and a
+// mount can rebuild that state from NVM contents alone.
+//
+// The write-ahead discipline per appended record:
+//
+//	store the record's words into the log tail   (volatile)
+//	flush each word                              (initiate write-back)
+//	fence                                        (commit point)
+//	apply the in-place update                    (caller, volatile)
+//
+// A crash before the fence loses the record cleanly — unfenced words
+// revert to the NVM zeros, and the operation never happened. A TORN crash
+// (chaos.Action.Torn) persists a flush-order prefix of the record's
+// words; the checksum is the last word flushed, so a torn record can
+// never validate, and Mount detects it, discards it, and zeroes the tail
+// (zeroing is itself flushed and fenced before the space is reused).
+// Records are glued by strict sequence continuity: record n+1 is only
+// accepted directly after record n, so a stale record surviving past a
+// zeroed gap can never be replayed out of order.
+package journal
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/uniproc"
+)
+
+// Record kinds. The zero kind is invalid so a zeroed arena never decodes.
+type Kind uint8
+
+const (
+	OpMkdir Kind = iota + 1
+	OpCreate
+	OpWriteFile
+	OpAppend
+	OpRemove
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OpMkdir:
+		return "mkdir"
+	case OpCreate:
+		return "create"
+	case OpWriteFile:
+		return "writefile"
+	case OpAppend:
+		return "append"
+	case OpRemove:
+		return "remove"
+	}
+	return "?"
+}
+
+// Record is one logged operation.
+type Record struct {
+	Seq  uint32
+	Kind Kind
+	Path string
+	Data []byte
+}
+
+// Wire format, in 32-bit words:
+//
+//	w0           magic<<24 | kind<<16 | nwords     (nwords = payload words)
+//	w1           seq
+//	w2..         payload: pathLen, path bytes packed LE, dataLen, data bytes
+//	w2+nwords    checksum over w0..w1+nwords       (flushed last)
+const (
+	magic      = 0xA5
+	headWords  = 2 // header + seq
+	maxPayload = 0xFFFF
+)
+
+// Errors.
+var (
+	ErrFull     = errors.New("journal: log full")
+	ErrTooLarge = errors.New("journal: record too large")
+	ErrCorrupt  = errors.New("journal: corrupt record")
+)
+
+// Options configures a log.
+type Options struct {
+	// SkipFence is a deliberately planted protocol bug for the model
+	// checker to catch: Append initiates the write-backs but omits the
+	// persist barrier, so the log reports an operation committed while its
+	// record is still in the volatile tier. A clean crash before the next
+	// unrelated fence silently loses a completed operation; a torn crash
+	// can additionally leave a partial record. Never set outside
+	// verification.
+	SkipFence bool
+	// Metrics, when non-nil, receives the journal's counters:
+	// journal_records_written, journal_records_replayed,
+	// journal_torn_words_discarded.
+	Metrics *obs.Registry
+}
+
+// Log is a WAL over a caller-provided NVM arena. The arena words are the
+// durable tier (they must live on a processor with persistence enabled
+// for the crash semantics to mean anything); head and seq are volatile
+// and rebuilt by Mount.
+type Log struct {
+	arena []uniproc.Word
+	head  int    // next free word
+	seq   uint32 // last durable sequence number
+	opt   Options
+
+	written, replayed, torn *obs.Counter
+}
+
+// Mount scans the arena — NVM contents only — validating records by
+// magic, checksum, and strict sequence continuity. The first invalid
+// word ends the valid prefix: everything after it is a torn tail from an
+// append the crash interrupted, which Mount zeroes (flushed and fenced)
+// before the space is reused. It returns the mounted log, positioned to
+// append, and the replayed records in order.
+func Mount(e *uniproc.Env, arena []uniproc.Word, opt Options) (*Log, []Record, error) {
+	l := &Log{arena: arena, opt: opt}
+	if reg := opt.Metrics; reg != nil {
+		l.written = reg.Counter("journal_records_written", "records appended and fenced")
+		l.replayed = reg.Counter("journal_records_replayed", "valid records decoded at mount")
+		l.torn = reg.Counter("journal_torn_words_discarded", "torn-tail words zeroed at mount")
+	}
+	var recs []Record
+	for {
+		rec, n, ok := l.decodeAt(e, l.head)
+		if !ok {
+			break
+		}
+		if rec.Seq != l.seq+1 {
+			break // stale or replayed-out-of-order record: not ours
+		}
+		recs = append(recs, rec)
+		l.seq = rec.Seq
+		l.head += n
+		if l.replayed != nil {
+			l.replayed.Inc()
+		}
+	}
+	// Zero the torn tail. Everything past the valid prefix is debris from
+	// at most one interrupted append (plus the zeros the arena started
+	// with); the zeroing must itself be durable before the space is
+	// reused, or a second crash could resurrect half-overwritten debris.
+	if n := l.zeroTail(e); n > 0 && l.torn != nil {
+		l.torn.Add(uint64(n))
+	}
+	return l, recs, nil
+}
+
+// zeroTail zeroes every nonzero word from head to the end of the arena,
+// returning how many it zeroed. The flush/fence runs only when something
+// was actually zeroed.
+func (l *Log) zeroTail(e *uniproc.Env) int {
+	n := 0
+	for i := l.head; i < len(l.arena); i++ {
+		e.ChargeALU(1)
+		if e.Load(&l.arena[i]) == 0 {
+			continue
+		}
+		e.Store(&l.arena[i], 0)
+		e.Flush(&l.arena[i])
+		n++
+	}
+	if n > 0 {
+		e.Fence()
+	}
+	return n
+}
+
+// Append encodes rec (Seq is assigned by the log), makes it durable, and
+// returns the assigned sequence number. The caller applies the in-place
+// update only after Append returns: write-ahead means the log commits
+// first.
+func (l *Log) Append(e *uniproc.Env, kind Kind, path string, data []byte) (uint32, error) {
+	payload := 2 + wordsFor(len(path)) + wordsFor(len(data))
+	if payload > maxPayload {
+		return 0, fmt.Errorf("%w: %d payload words", ErrTooLarge, payload)
+	}
+	total := headWords + payload + 1
+	if l.head+total > len(l.arena) {
+		return 0, fmt.Errorf("%w: %d words free, record needs %d", ErrFull, len(l.arena)-l.head, total)
+	}
+	seq := l.seq + 1
+	w := l.head
+	put := func(v uint32) {
+		e.Store(&l.arena[w], uniproc.Word(v))
+		w++
+	}
+	put(magic<<24 | uint32(kind)<<16 | uint32(payload))
+	put(seq)
+	put(uint32(len(path)))
+	putBytes(e, l.arena, &w, []byte(path))
+	put(uint32(len(data)))
+	putBytes(e, l.arena, &w, data)
+	e.ChargeALU(total)
+	put(uint32(cksum(l.arena[l.head : l.head+total-1])))
+	// The checksum is stored, and therefore flushed, last: a torn crash
+	// persists a flush-order prefix of these words, so a record with a
+	// valid checksum is a whole record.
+	for i := l.head; i < l.head+total; i++ {
+		e.Flush(&l.arena[i])
+	}
+	if !l.opt.SkipFence {
+		e.Fence()
+	}
+	l.head += total
+	l.seq = seq
+	if l.written != nil {
+		l.written.Inc()
+	}
+	return seq, nil
+}
+
+// Seq returns the sequence number of the last appended or replayed record.
+func (l *Log) Seq() uint32 { return l.seq }
+
+// Free returns how many arena words remain.
+func (l *Log) Free() int { return len(l.arena) - l.head }
+
+// decodeAt validates and decodes the record starting at word i.
+func (l *Log) decodeAt(e *uniproc.Env, i int) (Record, int, bool) {
+	if i >= len(l.arena) {
+		return Record{}, 0, false
+	}
+	h := uint32(e.Load(&l.arena[i]))
+	kind := Kind(h >> 16 & 0xFF)
+	payload := int(h & 0xFFFF)
+	if h>>24 != magic || kind == 0 || kind >= numKinds || payload < 2 {
+		return Record{}, 0, false
+	}
+	total := headWords + payload + 1
+	if i+total > len(l.arena) {
+		return Record{}, 0, false
+	}
+	e.ChargeALU(total)
+	for j := i; j < i+total; j++ {
+		e.Load(&l.arena[j]) // the replay read, charged like any load
+	}
+	if uint32(l.arena[i+total-1]) != uint32(cksum(l.arena[i:i+total-1])) {
+		return Record{}, 0, false
+	}
+	rec := Record{Seq: uint32(l.arena[i+1]), Kind: kind}
+	w := i + headWords
+	pathLen := int(l.arena[w])
+	w++
+	if w+wordsFor(pathLen) >= i+total-1 {
+		return Record{}, 0, false // path would overrun the dataLen word
+	}
+	rec.Path = string(getBytes(l.arena, &w, pathLen))
+	dataLen := int(l.arena[w])
+	w++
+	if payload != 2+wordsFor(pathLen)+wordsFor(dataLen) {
+		return Record{}, 0, false
+	}
+	rec.Data = getBytes(l.arena, &w, dataLen)
+	return rec, total, true
+}
+
+// wordsFor returns the words needed to pack n bytes.
+func wordsFor(n int) int { return (n + 3) / 4 }
+
+// putBytes packs b little-endian into words at *w, zero-padding the last.
+func putBytes(e *uniproc.Env, a []uniproc.Word, w *int, b []byte) {
+	for i := 0; i < len(b); i += 4 {
+		var v uint32
+		for j := 0; j < 4 && i+j < len(b); j++ {
+			v |= uint32(b[i+j]) << (8 * j)
+		}
+		e.Store(&a[*w], uniproc.Word(v))
+		*w++
+	}
+}
+
+// getBytes unpacks n bytes from words at *w.
+func getBytes(a []uniproc.Word, w *int, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = byte(uint32(a[*w+i/4]) >> (8 * (i % 4)))
+	}
+	*w += wordsFor(n)
+	return out
+}
+
+// cksum folds the words with a multiplicative mix. A zeroed region hashes
+// to a nonzero value, so blank arena never validates against a zero
+// checksum word.
+func cksum(ws []uniproc.Word) uniproc.Word {
+	h := uint32(0x9E3779B9)
+	for _, w := range ws {
+		h = (h ^ uint32(w)) * 0x85EBCA6B
+		h ^= h >> 13
+	}
+	return uniproc.Word(h)
+}

@@ -1,0 +1,635 @@
+package mcheck
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/guest"
+	"repro/internal/journal"
+	"repro/internal/uniproc"
+	"repro/internal/vmach"
+	"repro/internal/vmach/kernel"
+)
+
+// The journaling model family: the crash-consistent structures this
+// layer adds — the guest WAL transaction (vmach), the memfs journal
+// (uniproc), and the persistent stack/queue (uniproc) — each crashed
+// exhaustively at every flush/fence boundary, clean and torn, including
+// crashes that land inside recovery itself (K=2). The ordinal space
+// everywhere is retired persist operations, accumulated across reboots,
+// exactly like the persist model.
+
+// ---------------------------------------------------------------------
+// vmach: guest.JournalProgram under crashes at every persist boundary.
+
+// journalInstance is the persistInstance pattern for the guest journal:
+// a pausable vmach run where a crash is a transition — discard the
+// volatile tier (torn or clean, per the decision's action), audit the
+// surviving NVM image for recoverable consistency, and reboot the same
+// binary over it without reloading.
+type journalInstance struct {
+	prog *asm.Program
+	mem  *vmach.Memory
+	k    *kernel.Kernel
+	opt  Options
+	vio  *violations
+
+	ds   []Decision
+	next int
+
+	opsBase uint64
+	boots   int
+
+	jlog, applied, va, vb uint32
+	target                uint32
+
+	done   bool
+	ended  bool
+	runErr error
+}
+
+func journalModel(p map[string]string) (Model, error) {
+	target, err := paramInt(p, "target")
+	if err != nil {
+		return nil, err
+	}
+	var src string
+	switch p["mode"] {
+	case "redo", "undo":
+		src = guest.JournalProgram(p["mode"], target)
+	case "nofence":
+		src = guest.NoFenceJournalProgram(target)
+	default:
+		return nil, fmt.Errorf("mcheck: journal: unknown mode %q", p["mode"])
+	}
+	primary := ActCrashVolatile
+	if p["torn"] == "1" {
+		primary = ActCrashTorn
+	} else if p["torn"] != "0" {
+		return nil, fmt.Errorf("mcheck: journal: torn must be 0 or 1, got %q", p["torn"])
+	}
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: journal: %v", err)
+	}
+	m := &vmachModel{name: "journal", params: p, primary: primary, prog: prog}
+	m.build = func(m *vmachModel, ds []Decision, opt Options) (Instance, error) {
+		for _, d := range ds {
+			if d.Act != ActCrashVolatile && d.Act != ActCrashTorn {
+				return nil, fmt.Errorf("mcheck: journal: only crash decisions apply (got %s)", d.Act)
+			}
+		}
+		mem := vmach.NewMemory()
+		mem.EnablePersistence()
+		in := &journalInstance{
+			prog: m.prog, mem: mem, opt: opt, vio: &violations{},
+			ds:      ds,
+			jlog:    m.prog.MustSymbol("jlog"),
+			applied: m.prog.MustSymbol("applied"),
+			va:      m.prog.MustSymbol("va"),
+			vb:      m.prog.MustSymbol("vb"),
+			target:  uint32(target),
+		}
+		in.boot()
+		return in, nil
+	}
+	return m, nil
+}
+
+// boot starts a kernel over the shared (surviving) memory. Only the
+// first boot loads the image: recovery must read what the crash left.
+func (in *journalInstance) boot() {
+	k := kernel.New(kernel.Config{
+		Strategy:  &kernel.Designated{},
+		CheckAt:   kernel.CheckAtResume,
+		Quantum:   modelQuantum,
+		MaxCycles: modelBudget,
+		Memory:    in.mem,
+	})
+	if in.opt.Tracer != nil {
+		k.Tracer = in.opt.Tracer
+	}
+	in.k = k
+	if in.boots == 0 {
+		k.Load(in.prog)
+	}
+	k.Spawn(in.prog.MustSymbol("main"), guest.StackTop(0))
+}
+
+// cursor counts persist operations retired across all boots.
+func (in *journalInstance) cursor() uint64 {
+	return in.opsBase + in.k.M.Stats.Flushes + in.k.M.Stats.Fences
+}
+
+func (in *journalInstance) step() {
+	fin, err := in.k.StepOne()
+	if in.next < len(in.ds) && in.cursor() >= in.ds[in.next].At {
+		in.crash()
+		return
+	}
+	if fin {
+		in.done = true
+		in.runErr = err
+	}
+}
+
+// crash discards the volatile tier — torn write-backs when the decision
+// says so, the tear derived from the decision ordinal so a .sched
+// replays the exact same split — audits the NVM image left behind, and
+// reboots.
+func (in *journalInstance) crash() {
+	d := in.ds[in.next]
+	in.next++
+	in.opsBase += in.k.M.Stats.Flushes + in.k.M.Stats.Fences
+	if d.Act == ActCrashTorn {
+		in.mem.DiscardUnflushedTorn(d.At)
+	} else {
+		in.mem.DiscardUnflushed()
+	}
+	in.checkNVM(fmt.Sprintf("crash at persist op %d", d.At))
+	in.boots++
+	in.boot()
+}
+
+// checkNVM simulates the guest's own recovery decision over the NVM
+// image and demands the recovered state is consistent: va == vb, within
+// the target. This is the journal's core invariant — every reachable
+// NVM image is one a reboot repairs.
+func (in *journalInstance) checkNVM(where string) {
+	seq := uint32(in.mem.NVPeek(in.jlog))
+	xa := uint32(in.mem.NVPeek(in.jlog + 4))
+	xb := uint32(in.mem.NVPeek(in.jlog + 8))
+	ck := uint32(in.mem.NVPeek(in.jlog + 12))
+	ap := uint32(in.mem.NVPeek(in.applied))
+	a := uint32(in.mem.NVPeek(in.va))
+	b := uint32(in.mem.NVPeek(in.vb))
+	if guest.JournalCksum(seq, xa, xb) == ck && seq == ap+1 {
+		// A committed in-flight record: recovery re-stores its values
+		// (redo: news roll forward; undo: olds roll back).
+		a, b = xa, xb
+	}
+	if a != b {
+		in.vio.add("journal-consistency",
+			"%s: recovered state va=%d vb=%d — the words diverged and no durable record repairs them", where, a, b)
+	}
+	if a > in.target {
+		in.vio.add("journal-consistency", "%s: recovered va=%d exceeds target %d", where, a, in.target)
+	}
+}
+
+func (in *journalInstance) RunTo(at uint64) bool {
+	for !in.done && in.cursor() < at {
+		in.step()
+	}
+	return in.done
+}
+
+func (in *journalInstance) RunToEnd() {
+	for !in.done {
+		in.step()
+	}
+	if in.ended {
+		return
+	}
+	in.ended = true
+	switch err := in.runErr; {
+	case err == nil:
+	case errors.Is(err, kernel.ErrDeadlock):
+		in.vio.add("deadlock", "%v", err)
+	case errors.Is(err, kernel.ErrLivelock):
+		in.vio.add("restart-livelock", "%v", err)
+	case errors.Is(err, kernel.ErrBudget):
+		in.vio.add("budget", "%v", err)
+	default:
+		in.vio.add("abort", "%v", err)
+	}
+	a, b := uint32(in.mem.Peek(in.va)), uint32(in.mem.Peek(in.vb))
+	if a != in.target || b != in.target {
+		in.vio.add("journal-consistency", "final state va=%d vb=%d after boot %d, want both %d",
+			a, b, in.boots+1, in.target)
+	}
+	in.checkNVM("final NVM image")
+}
+
+func (in *journalInstance) Cursor() uint64          { return in.cursor() }
+func (in *journalInstance) Violations() []Violation { return in.vio.list }
+
+// StateHash extends the canonical kernel hash exactly as the persist
+// model does: the cursor, the decision index, and the boot count are
+// behavioral state the normalized kernel image doesn't carry.
+func (in *journalInstance) StateHash() ([32]byte, bool) {
+	h := hashKernel(in.k)
+	var extra [16]byte
+	binary.LittleEndian.PutUint64(extra[:8], in.cursor())
+	binary.LittleEndian.PutUint64(extra[8:], uint64(in.next)|uint64(in.boots)<<32)
+	return sha256.Sum256(append(h[:], extra[:]...)), true
+}
+
+// ---------------------------------------------------------------------
+// uniproc: the memfs journal and the persistent structures. Replay-only
+// models (the uniproc runtime runs whole schedules), with the crash
+// decisions rendered as a chaos injector at PointPersist. A decision
+// ordinal is global across reboots: each boot's injector sees the
+// decisions shifted down by the persist ops earlier boots retired.
+
+// shiftDecisions makes ds boot-relative: decisions at or before base
+// already fired in an earlier boot; later ones shift down by base.
+func shiftDecisions(ds []Decision, base uint64) []Decision {
+	var out []Decision
+	for _, d := range ds {
+		if d.At > base {
+			out = append(out, Decision{At: d.At - base, Act: d.Act})
+		}
+	}
+	return out
+}
+
+// jfsScript is the memfs-journal workload: every operation kind the
+// journal logs, with a remove so replay must handle deletion too.
+var jfsScript = []journal.Record{
+	{Kind: journal.OpMkdir, Path: "/d"},
+	{Kind: journal.OpCreate, Path: "/d/a"},
+	{Kind: journal.OpWriteFile, Path: "/d/a", Data: []byte("alpha")},
+	{Kind: journal.OpAppend, Path: "/d/a", Data: []byte("-beta")},
+	{Kind: journal.OpCreate, Path: "/d/b"},
+	{Kind: journal.OpRemove, Path: "/d/b"},
+}
+
+const jfsArenaWords = 1024
+
+// memfsJournalModel crashes the JFS script workload at every persist
+// boundary. The invariant is the write-ahead contract: after any crash,
+// the remounted tree equals a PREFIX of the script — all-or-nothing per
+// operation, at least every operation that returned, never reordered.
+// variant=nofence mounts with the planted Options.SkipFence bug, which
+// this model must catch as journal-loss.
+func memfsJournalModel(p map[string]string) (Model, error) {
+	var jopt journal.Options
+	switch p["variant"] {
+	case "fenced":
+	case "nofence":
+		jopt.SkipFence = true
+	default:
+		return nil, fmt.Errorf("mcheck: memfs-journal: unknown variant %q", p["variant"])
+	}
+	primary := ActCrashVolatile
+	if p["torn"] == "1" {
+		primary = ActCrashTorn
+	} else if p["torn"] != "0" {
+		return nil, fmt.Errorf("mcheck: memfs-journal: torn must be 0 or 1, got %q", p["torn"])
+	}
+	// The reference states are fault-free and shared by every instance.
+	states, err := jfsPrefixStates()
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: memfs-journal: %v", err)
+	}
+	m := &uniModel{name: "memfs-journal", params: p, primary: primary}
+	m.run = func(ds []Decision, opt Options, vio *violations) uint64 {
+		arena := make([]uniproc.Word, jfsArenaWords)
+		var cum uint64
+		returned := 0
+		first := true
+		for boot := 0; boot < len(ds)+2; boot++ {
+			proc := uniproc.New(uniproc.Config{
+				Quantum:   modelQuantum,
+				MaxCycles: modelBudget,
+				Faults:    newInjector(chaos.PointPersist, shiftDecisions(ds, cum)),
+			})
+			proc.Tracer = opt.Tracer
+			proc.EnablePersistence()
+			var mountErr error
+			var state string
+			proc.Go("main", func(e *uniproc.Env) {
+				j, err := journal.MountFS(e, cthreads.New(core.NewRAS()), arena, jopt)
+				if err != nil {
+					mountErr = err
+					return
+				}
+				if first {
+					for _, r := range jfsScript {
+						if err := jfsApply(e, j, r); err != nil {
+							mountErr = fmt.Errorf("op %d: %w", returned, err)
+							return
+						}
+						returned++
+					}
+				}
+				state = jfsDump(e, j)
+			})
+			err := proc.Run()
+			cum += proc.PersistOps()
+			if errors.Is(err, uniproc.ErrMachineCrash) {
+				first = false
+				continue // reboot over the surviving arena
+			}
+			classifyUniErr(err, vio)
+			if mountErr != nil {
+				vio.add("recovery", "boot %d: %v", boot+1, mountErr)
+				return cum
+			}
+			// A boot that ran to completion: on the first boot the state
+			// is the full script; on a reboot, whatever replay rebuilt.
+			// Distinct prefixes can share a tree (an op and its inverse
+			// cancel), so the check is against the two admissible states
+			// directly, not a search for a matching prefix: every
+			// returned op must be present, plus at most the one op in
+			// flight at the crash.
+			okA := state == states[returned]
+			okB := returned+1 < len(states) && state == states[returned+1]
+			if !okA && !okB {
+				vio.add("journal-loss",
+					"remounted tree is not the state after the %d returned ops (or %d):\n%s",
+					returned, returned+1, state)
+			}
+			return cum
+		}
+		vio.add("stuck", "crash decisions kept firing after %d boots", len(ds)+2)
+		return cum
+	}
+	return m, nil
+}
+
+// jfsApply performs one scripted operation through the journal.
+func jfsApply(e *uniproc.Env, j *journal.JFS, r journal.Record) error {
+	switch r.Kind {
+	case journal.OpMkdir:
+		return j.Mkdir(e, r.Path)
+	case journal.OpCreate:
+		return j.Create(e, r.Path)
+	case journal.OpWriteFile:
+		return j.WriteFile(e, r.Path, r.Data)
+	case journal.OpAppend:
+		return j.Append(e, r.Path, r.Data)
+	case journal.OpRemove:
+		return j.Remove(e, r.Path)
+	}
+	return fmt.Errorf("mcheck: unknown journal op %d", r.Kind)
+}
+
+// jfsDump flattens the tree to a canonical string for state comparison.
+func jfsDump(e *uniproc.Env, j *journal.JFS) string {
+	var sb strings.Builder
+	var walk func(dir string)
+	walk = func(dir string) {
+		names, err := j.ReadDir(e, dir)
+		if err != nil {
+			panic(err)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			p := dir + "/" + name
+			if dir == "/" {
+				p = "/" + name
+			}
+			isDir, _, err := j.Stat(e, p)
+			if err != nil {
+				panic(err)
+			}
+			if isDir {
+				fmt.Fprintf(&sb, "%s/\n", p)
+				walk(p)
+			} else {
+				data, _ := j.ReadFile(e, p)
+				fmt.Fprintf(&sb, "%s=%q\n", p, data)
+			}
+		}
+	}
+	walk("/")
+	return sb.String()
+}
+
+// jfsPrefixStates runs each script prefix on a fault-free processor and
+// returns its canonical dump (index p = state after the first p ops).
+func jfsPrefixStates() ([]string, error) {
+	states := make([]string, len(jfsScript)+1)
+	arena := make([]uniproc.Word, jfsArenaWords)
+	var runErr error
+	proc := uniproc.New(uniproc.Config{})
+	proc.EnablePersistence()
+	proc.Go("main", func(e *uniproc.Env) {
+		j, err := journal.MountFS(e, cthreads.New(core.NewRAS()), arena, journal.Options{})
+		if err != nil {
+			runErr = err
+			return
+		}
+		states[0] = jfsDump(e, j)
+		for i, r := range jfsScript {
+			if err := jfsApply(e, j, r); err != nil {
+				runErr = fmt.Errorf("op %d: %w", i, err)
+				return
+			}
+			states[i+1] = jfsDump(e, j)
+		}
+	})
+	if err := proc.Run(); err != nil {
+		return nil, err
+	}
+	return states, runErr
+}
+
+// ---------------------------------------------------------------------
+// pstruct: core.PersistentStack / core.PersistentQueue crashed at every
+// persist boundary. The invariant is transactionality: the recovered
+// structure equals the state after exactly `returned` operations, or
+// returned+1 (the one in-flight operation, when its commit point was
+// crossed) — never a torn intermediate, never a lost committed op.
+
+// pstructScript: positive = push/enqueue the value, -1 = pop/dequeue.
+var pstructScript = []int{10, 20, -1, 30}
+
+const pstructCap = 4
+
+func pstructModel(p map[string]string) (Model, error) {
+	mode, err := core.ParseLogMode(p["mode"])
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: pstruct: %v", err)
+	}
+	kind := p["struct"]
+	if kind != "stack" && kind != "queue" {
+		return nil, fmt.Errorf("mcheck: pstruct: unknown struct %q", p["struct"])
+	}
+	primary := ActCrashVolatile
+	if p["torn"] == "1" {
+		primary = ActCrashTorn
+	} else if p["torn"] != "0" {
+		return nil, fmt.Errorf("mcheck: pstruct: torn must be 0 or 1, got %q", p["torn"])
+	}
+	states, err := pstructPrefixStates(kind, mode)
+	if err != nil {
+		return nil, fmt.Errorf("mcheck: pstruct: %v", err)
+	}
+	m := &uniModel{name: "pstruct", params: p, primary: primary}
+	m.run = func(ds []Decision, opt Options, vio *violations) uint64 {
+		arena := make([]uniproc.Word, pstructArenaWords(kind))
+		var cum uint64
+		returned := 0
+		first := true
+		for boot := 0; boot < len(ds)+2; boot++ {
+			proc := uniproc.New(uniproc.Config{
+				Quantum:   modelQuantum,
+				MaxCycles: modelBudget,
+				Faults:    newInjector(chaos.PointPersist, shiftDecisions(ds, cum)),
+			})
+			proc.Tracer = opt.Tracer
+			proc.EnablePersistence()
+			var state []uniproc.Word
+			var opErr error
+			proc.Go("main", func(e *uniproc.Env) {
+				// Recover runs first on every boot — a crash inside a
+				// previous boot's recovery re-runs it here, idempotently.
+				ops := pstructScript
+				if !first {
+					ops = nil
+				}
+				state, opErr = pstructRunOps(e, arena, kind, mode, ops, func() { returned++ })
+			})
+			err := proc.Run()
+			cum += proc.PersistOps()
+			if errors.Is(err, uniproc.ErrMachineCrash) {
+				first = false
+				continue
+			}
+			classifyUniErr(err, vio)
+			if opErr != nil {
+				vio.add("abort", "boot %d: %v", boot+1, opErr)
+				return cum
+			}
+			okA := wordsEqual(state, states[returned])
+			okB := returned+1 < len(states) && wordsEqual(state, states[returned+1])
+			if !okA && !okB {
+				vio.add("pstruct-atomicity",
+					"recovered %s state %v with %d returned ops: not the state after %d ops (%v) or %d (%v)",
+					kind, state, returned, returned, states[returned], returned+1, stateOrNil(states, returned+1))
+			}
+			return cum
+		}
+		vio.add("stuck", "crash decisions kept firing after %d boots", len(ds)+2)
+		return cum
+	}
+	return m, nil
+}
+
+func pstructArenaWords(kind string) int {
+	if kind == "stack" {
+		return core.StackArenaWords(pstructCap)
+	}
+	return core.QueueArenaWords(pstructCap)
+}
+
+// pstructRunOps recovers the structure on arena, applies ops (positive
+// = push/enqueue, -1 = pop/dequeue, calling retired after each), and
+// returns the observable state. Sequence and log words are excluded —
+// the redo discipline lets the applied-sequence write-back lag one
+// fence, so only the logical contents are comparable across crashes.
+func pstructRunOps(e *uniproc.Env, arena []uniproc.Word, kind string, mode core.LogMode, ops []int, retired func()) ([]uniproc.Word, error) {
+	if kind == "stack" {
+		s := core.NewPersistentStack(arena, mode)
+		s.Recover(e)
+		for _, op := range ops {
+			if op < 0 {
+				if _, ok := s.Pop(e); !ok {
+					return nil, errors.New("pop on empty stack")
+				}
+			} else if err := s.Push(e, uniproc.Word(op)); err != nil {
+				return nil, err
+			}
+			retired()
+		}
+		return pstructStackState(e, arena), nil
+	}
+	q := core.NewPersistentQueue(arena, mode)
+	q.Recover(e)
+	for _, op := range ops {
+		if op < 0 {
+			if _, ok := q.Dequeue(e); !ok {
+				return nil, errors.New("dequeue on empty queue")
+			}
+		} else if err := q.Enqueue(e, uniproc.Word(op)); err != nil {
+			return nil, err
+		}
+		retired()
+	}
+	return pstructQueueState(e, arena), nil
+}
+
+// pstructStackState reads the stack's observable state without mutating
+// it: [depth, values bottom-first...]. The depth word sits just below
+// the value area, which starts at StackArenaWords(0).
+func pstructStackState(e *uniproc.Env, arena []uniproc.Word) []uniproc.Word {
+	top := e.Load(&arena[core.StackArenaWords(0)-1])
+	state := []uniproc.Word{top}
+	for i := 0; i < int(top); i++ {
+		state = append(state, e.Load(&arena[core.StackArenaWords(0)+i]))
+	}
+	return state
+}
+
+// pstructQueueState reads the queue's observable state without mutating
+// it: [length, values oldest-first...]. head/tail sit at the two words
+// before the ring, which starts at QueueArenaWords(0).
+func pstructQueueState(e *uniproc.Env, arena []uniproc.Word) []uniproc.Word {
+	ring := core.QueueArenaWords(0)
+	capacity := len(arena) - ring
+	head := e.Load(&arena[ring-2])
+	tail := e.Load(&arena[ring-1])
+	state := []uniproc.Word{tail - head}
+	for i := head; i != tail; i++ {
+		state = append(state, e.Load(&arena[ring+int(uint32(i)%uint32(capacity))]))
+	}
+	return state
+}
+
+// pstructPrefixStates computes the observable state after each prefix
+// of the script on a fault-free processor.
+func pstructPrefixStates(kind string, mode core.LogMode) ([][]uniproc.Word, error) {
+	states := make([][]uniproc.Word, len(pstructScript)+1)
+	var runErr error
+	for n := 0; n <= len(pstructScript); n++ {
+		n := n
+		arena := make([]uniproc.Word, pstructArenaWords(kind))
+		proc := uniproc.New(uniproc.Config{})
+		proc.EnablePersistence()
+		proc.Go("main", func(e *uniproc.Env) {
+			st, err := pstructRunOps(e, arena, kind, mode, pstructScript[:n], func() {})
+			if err != nil {
+				runErr = err
+				return
+			}
+			states[n] = st
+		})
+		if err := proc.Run(); err != nil {
+			return nil, err
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+	}
+	return states, nil
+}
+
+func wordsEqual(a, b []uniproc.Word) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func stateOrNil(states [][]uniproc.Word, i int) []uniproc.Word {
+	if i < len(states) {
+		return states[i]
+	}
+	return nil
+}

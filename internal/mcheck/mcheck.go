@@ -45,6 +45,12 @@ const (
 	// (flushes + fences) retired, so ordinals enumerate exactly the
 	// crash points between persist operations.
 	ActCrashVolatile
+	// ActCrashTorn is ActCrashVolatile with torn write-backs
+	// (chaos.Action.Torn): lines with an initiated-but-unfenced
+	// write-back persist only a deterministic prefix of their words.
+	// The torn split is derived from the decision ordinal, so a .sched
+	// replays the exact same tear.
+	ActCrashTorn
 )
 
 func (a Action) String() string {
@@ -59,6 +65,8 @@ func (a Action) String() string {
 		return "switch"
 	case ActCrashVolatile:
 		return "crash-volatile"
+	case ActCrashTorn:
+		return "crash-torn"
 	}
 	return "?"
 }
@@ -76,6 +84,8 @@ func ParseAction(s string) (Action, error) {
 		return ActSwitch, nil
 	case "crash-volatile":
 		return ActCrashVolatile, nil
+	case "crash-torn":
+		return ActCrashTorn, nil
 	}
 	return 0, fmt.Errorf("mcheck: unknown action %q", s)
 }
@@ -140,6 +150,9 @@ func newInjector(point chaos.Point, ds []Decision) *injector {
 			a.Crash = true
 		case ActCrashVolatile:
 			a.CrashVolatile = true
+		case ActCrashTorn:
+			a.CrashVolatile = true
+			a.Torn = true
 		}
 		in.acts[d.At] = a
 	}

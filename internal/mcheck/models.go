@@ -52,6 +52,21 @@ var registry = map[string]modelEntry{
 		build:    uniRMEModel,
 		doc:      "uniproc core.RecoverableMutex under forced kills",
 	},
+	"journal": {
+		defaults: map[string]string{"mode": "redo", "target": "2", "torn": "0"},
+		build:    journalModel,
+		doc:      "vmach guest WAL transaction, crash at every persist boundary; mode=redo|undo|nofence, torn=0|1",
+	},
+	"memfs-journal": {
+		defaults: map[string]string{"variant": "fenced", "torn": "0"},
+		build:    memfsJournalModel,
+		doc:      "uniproc journaled memfs script; remount after any crash must be a script prefix; variant=fenced|nofence",
+	},
+	"pstruct": {
+		defaults: map[string]string{"struct": "stack", "mode": "redo", "torn": "0"},
+		build:    pstructModel,
+		doc:      "uniproc persistent stack/queue transactionality under crashes; struct=stack|queue, mode=undo|redo",
+	},
 }
 
 // Models lists the registered model names, sorted, with one-line docs.

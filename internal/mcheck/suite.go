@@ -100,6 +100,70 @@ func Suite() []SuiteEntry {
 			Why: "under-flushed variant: a late crash loses more than one increment",
 		},
 		{
+			Model: "journal", Over: map[string]string{"mode": "redo"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "redo-logged guest WAL: a clean crash at every flush/fence boundary recovers",
+		},
+		{
+			Model: "journal", Over: map[string]string{"mode": "redo", "torn": "1"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "redo WAL under torn write-backs: partial lines never validate, recovery still exact",
+		},
+		{
+			Model: "journal", Over: map[string]string{"mode": "undo", "torn": "1"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "undo WAL under torn write-backs: in-flight transactions roll back cleanly",
+		},
+		{
+			Model: "journal", Over: map[string]string{"mode": "redo"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "redo WAL, two crashes: the second lands inside recovery, which must be idempotent",
+		},
+		{
+			Model: "journal", Over: map[string]string{"mode": "nofence", "torn": "1"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "missing-fence WAL: a torn crash splits va/vb with no durable record to repair them",
+		},
+		{
+			Model: "memfs-journal", Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "journaled memfs: a crash at every persist boundary remounts to a script prefix",
+		},
+		{
+			Model: "memfs-journal", Over: map[string]string{"torn": "1"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "journaled memfs under torn write-backs: mount zeroes the torn tail, prefix survives",
+		},
+		{
+			Model: "memfs-journal", Over: map[string]string{"variant": "nofence"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "SkipFence journal: a crash after commit loses a completed operation",
+		},
+		{
+			Model: "pstruct", Over: map[string]string{"struct": "stack", "mode": "undo"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "undo-logged stack: every crash rolls back or completes, never tears",
+		},
+		{
+			Model: "pstruct", Over: map[string]string{"struct": "stack", "mode": "redo", "torn": "1"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "redo-logged stack under torn write-backs",
+		},
+		{
+			Model: "pstruct", Over: map[string]string{"struct": "queue", "mode": "redo"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "redo-logged queue: monotone head/tail recover exactly",
+		},
+		{
+			Model: "pstruct", Over: map[string]string{"struct": "queue", "mode": "undo", "torn": "1"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "undo-logged queue under torn write-backs",
+		},
+		{
+			Model: "pstruct", Over: map[string]string{"struct": "stack", "mode": "redo"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "redo-logged stack, two crashes: the second can land inside Recover",
+		},
+		{
 			Model: "broken2store", Mode: "random", K: 3, Seed: 0xC0FFEE, Count: 200,
 			Expect: "violation",
 			Why:    "randomized mode finds and shrinks the same defect from a seed",

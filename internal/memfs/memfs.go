@@ -34,6 +34,7 @@ var (
 	ErrIsDir       = errors.New("memfs: is a directory")
 	ErrDirNotEmpty = errors.New("memfs: directory not empty")
 	ErrBadPath     = errors.New("memfs: bad path")
+	ErrBadOffset   = errors.New("memfs: negative offset")
 )
 
 // Stats counts filesystem operations.
@@ -238,8 +239,12 @@ func (fs *FS) ReadFile(e *uniproc.Env, path string) ([]byte, error) {
 }
 
 // ReadAt reads up to len(buf) bytes at offset off, returning the count;
-// n == 0 at or past end of file.
+// n == 0 at or past end of file. A negative offset is an error, not a
+// panic: the bound below only guards the far end of the file.
 func (fs *FS) ReadAt(e *uniproc.Env, path string, off int, buf []byte) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("%w: %d", ErrBadOffset, off)
+	}
 	n, err := fs.lookup(e, path)
 	if err != nil {
 		return 0, err

@@ -97,6 +97,24 @@ func TestReadAt(t *testing.T) {
 	})
 }
 
+// Regression: a negative offset used to slice n.data out of range and
+// panic — only the far end of the file was guarded.
+func TestReadAtNegativeOffset(t *testing.T) {
+	run(t, func(e *uniproc.Env, fs *FS) {
+		fs.Create(e, "/f")
+		fs.WriteFile(e, "/f", []byte("0123456789"))
+		buf := make([]byte, 4)
+		n, err := fs.ReadAt(e, "/f", -1, buf)
+		if !errors.Is(err, ErrBadOffset) || n != 0 {
+			t.Errorf("ReadAt(off=-1) = %d, %v; want 0, ErrBadOffset", n, err)
+		}
+		n, err = fs.ReadAt(e, "/f", -1<<40, buf)
+		if !errors.Is(err, ErrBadOffset) || n != 0 {
+			t.Errorf("ReadAt(off=-2^40) = %d, %v; want 0, ErrBadOffset", n, err)
+		}
+	})
+}
+
 func TestReadDirSorted(t *testing.T) {
 	run(t, func(e *uniproc.Env, fs *FS) {
 		fs.Mkdir(e, "/d")

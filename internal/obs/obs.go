@@ -39,26 +39,27 @@ import "fmt"
 type Kind int
 
 const (
-	KindDispatch  Kind = iota // a thread was given the processor
-	KindPreempt               // involuntary suspension (Arg 1 = spurious)
-	KindRestart               // a RAS rollback was applied (Arg = rolled-back-from PC)
-	KindYield                 // voluntary relinquish
-	KindBlock                 // thread blocked on a wait queue
-	KindUnblock               // thread readied another (Arg = woken thread ID)
-	KindTrap                  // kernel trap entry (uniproc runtime)
-	KindFork                  // thread created (Arg = new thread ID)
-	KindExit                  // thread finished (Arg = exit code)
-	KindSyscall               // syscall dispatched (Arg = syscall number)
-	KindPageFault             // page was faulted in (Arg = address)
-	KindFault                 // unrecoverable thread fault (Arg = address)
-	KindInject                // a chaos fault was applied (Arg = action bits)
-	KindWatchdog              // restart-livelock watchdog fired (Arg = restart count)
-	KindDemote                // adaptive mechanism demoted to emulation
-	KindPromote               // demoted mechanism re-promoted to the fast path
-	KindKill                  // thread killed by fault injection or KillThread
-	KindCrash                 // injected whole-machine crash ended the run
-	KindRepair                // orphaned lock repaired (Arg = dead owner's ID)
-	KindEmulTrap              // kernel-emulated atomic operation
+	KindDispatch      Kind = iota // a thread was given the processor
+	KindPreempt                   // involuntary suspension (Arg 1 = spurious)
+	KindRestart                   // a RAS rollback was applied (Arg = rolled-back-from PC)
+	KindYield                     // voluntary relinquish
+	KindBlock                     // thread blocked on a wait queue
+	KindUnblock                   // thread readied another (Arg = woken thread ID)
+	KindTrap                      // kernel trap entry (uniproc runtime)
+	KindFork                      // thread created (Arg = new thread ID)
+	KindExit                      // thread finished (Arg = exit code)
+	KindSyscall                   // syscall dispatched (Arg = syscall number)
+	KindPageFault                 // page was faulted in (Arg = address)
+	KindFault                     // unrecoverable thread fault (Arg = address)
+	KindInject                    // a chaos fault was applied (Arg = action bits)
+	KindWatchdog                  // restart-livelock watchdog fired (Arg = restart count)
+	KindDemote                    // adaptive mechanism demoted to emulation
+	KindPromote                   // demoted mechanism re-promoted to the fast path
+	KindKill                      // thread killed by fault injection or KillThread
+	KindCrash                     // injected whole-machine crash ended the run
+	KindRepair                    // orphaned lock repaired (Arg = dead owner's ID)
+	KindEmulTrap                  // kernel-emulated atomic operation
+	KindCrashDegraded             // CrashVolatile on a non-persistent memory fell back to Crash
 	numKinds
 )
 
@@ -104,6 +105,8 @@ func (k Kind) String() string {
 		return "repair"
 	case KindEmulTrap:
 		return "emultrap"
+	case KindCrashDegraded:
+		return "crash-degraded"
 	}
 	return "?"
 }

@@ -109,8 +109,15 @@ func (e *Env) chaosMemOp() {
 	if act.Crash || act.CrashVolatile {
 		if act.CrashVolatile {
 			// The volatile tier dies with the machine; on a non-persistent
-			// memory this reverts nothing and degrades to Crash.
-			p.DiscardUnflushed()
+			// memory this reverts nothing, degrades to Crash, and says so.
+			switch {
+			case !p.persist:
+				p.trace(TraceCrashDegraded, e.t, act.Bits())
+			case act.Torn:
+				p.DiscardUnflushedTorn(p.memOps)
+			default:
+				p.DiscardUnflushed()
+			}
 		}
 		p.trace(TraceCrash, e.t, 0)
 		if p.runErr == nil {
@@ -291,10 +298,14 @@ func (e *Env) Flush(w *Word) {
 	p.Stats.Flushes++
 	if p.persist {
 		if _, dirty := p.nvShadow[w]; dirty {
+			if !p.nvPending[w] {
+				p.nvOrder = append(p.nvOrder, w)
+			}
 			p.nvPending[w] = true
 		}
 	}
 	e.charge(p.profile.FlushCycles)
+	e.chaosPersistOp()
 }
 
 // Fence is the persist barrier: every write-back initiated by a Flush
@@ -310,9 +321,50 @@ func (e *Env) Fence() {
 			n++
 		}
 		p.nvPending = make(map[*Word]bool)
+		p.nvOrder = nil
 		p.Stats.Persists += uint64(n)
 	}
 	e.charge(p.profile.FenceCycles + n*p.profile.PersistDrainCycles)
+	e.chaosPersistOp()
+}
+
+// chaosPersistOp consults the fault injector at a Flush/Fence boundary —
+// the ordinal stream a persistence model checker enumerates. The op's
+// effect has already landed (a crash "at persist op k" sees the k-th
+// flush or fence retired, matching the ISA substrate's cursor), and only
+// crash kinds are honoured: persist operations are not preemption points.
+// Like every fault it is suppressed while interrupts are masked.
+func (e *Env) chaosPersistOp() {
+	p := e.p
+	p.persistOps++
+	if p.faults == nil {
+		return
+	}
+	act := p.faults.At(chaos.PointPersist, p.persistOps)
+	if !act.Crash && !act.CrashVolatile {
+		return
+	}
+	if e.masked > 0 {
+		return
+	}
+	p.Stats.Injected++
+	p.trace(TraceInject, e.t, act.Bits())
+	if act.CrashVolatile {
+		switch {
+		case !p.persist:
+			// Nothing volatile to lose: degrades to legacy Crash.
+			p.trace(TraceCrashDegraded, e.t, act.Bits())
+		case act.Torn:
+			p.DiscardUnflushedTorn(p.persistOps)
+		default:
+			p.DiscardUnflushed()
+		}
+	}
+	p.trace(TraceCrash, e.t, 0)
+	if p.runErr == nil {
+		p.runErr = fmt.Errorf("%w: at persist op %d in %v", ErrMachineCrash, p.persistOps, e.t)
+	}
+	panic(abortSignal{})
 }
 
 // Trap enters the kernel with interrupts disabled, runs f, charges the trap

@@ -123,3 +123,146 @@ func TestCrashVolatileDiscardsUnflushed(t *testing.T) {
 		t.Errorf("after fully-persistent crash w = %d, want 3 (every committed store survives)", got)
 	}
 }
+
+// A torn crash persists a flush-order PREFIX of the pending words: if the
+// i-th flushed word survived, every earlier-flushed pending word did too.
+// Dirty words that were never flushed always revert, and a word whose
+// write-back a later store cancelled never survives.
+func TestDiscardUnflushedTornPersistsFlushOrderPrefix(t *testing.T) {
+	const n = 8
+	run := func(h uint64) []Word {
+		words := make([]Word, n+2)
+		p := New(Config{})
+		p.EnablePersistence()
+		p.Go("main", func(e *Env) {
+			for i := 0; i < n; i++ {
+				e.Store(&words[i], Word(100+i))
+				e.Flush(&words[i])
+			}
+			e.Store(&words[n], 55) // dirty, never flushed
+			e.Store(&words[n+1], 66)
+			e.Flush(&words[n+1])
+			e.Store(&words[n+1], 77) // cancels the pending write-back
+		})
+		if err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		p.DiscardUnflushedTorn(h)
+		return words
+	}
+	partial := false
+	for h := uint64(0); h < 32; h++ {
+		words := run(h)
+		k := 0
+		for ; k < n; k++ {
+			if words[k] != Word(100+k) {
+				break
+			}
+		}
+		for i := k; i < n; i++ {
+			if words[i] != 0 {
+				t.Fatalf("h=%d: word %d = %d with prefix %d — survivors are not a flush-order prefix",
+					h, i, words[i], k)
+			}
+		}
+		if 0 < k && k < n {
+			partial = true
+		}
+		if words[n] != 0 {
+			t.Fatalf("h=%d: unflushed word survived a torn crash", h)
+		}
+		if words[n+1] != 0 {
+			t.Fatalf("h=%d: cancelled write-back survived a torn crash (word=%d)", h, words[n+1])
+		}
+		if again := run(h); !equalWords(again, words) {
+			t.Fatalf("h=%d: torn crash is not deterministic", h)
+		}
+	}
+	if !partial {
+		t.Fatal("no h in [0,32) produced a partial drain — the fault never tears")
+	}
+}
+
+func equalWords(a, b []Word) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PointPersist is a crash-only injection point: a schedule can name "the
+// k-th flush/fence boundary" directly, the ordinal space the persistence
+// model checker enumerates. The crash lands after the op's effect.
+func TestCrashAtPersistBoundary(t *testing.T) {
+	run := func(act chaos.Action, n uint64) (Word, *Processor) {
+		var w Word
+		p := New(Config{Faults: chaos.OneShot{Point: chaos.PointPersist, N: n, Action: act}})
+		p.EnablePersistence()
+		p.Go("main", func(e *Env) {
+			e.Store(&w, 1)
+			e.Flush(&w) // persist op 1
+			e.Fence()   // persist op 2: w=1 durable the instant the crash can land
+			e.Store(&w, 2)
+			e.Flush(&w) // persist op 3
+			e.Fence()   // persist op 4
+			e.Store(&w, 3)
+		})
+		if err := p.Run(); !errors.Is(err, ErrMachineCrash) {
+			t.Fatalf("Run = %v, want ErrMachineCrash", err)
+		}
+		return w, p
+	}
+	// Crash right after the first fence: the fenced value survives, the
+	// pre-fence flush alone (op 1) would not have persisted anything.
+	if got, _ := run(chaos.Action{CrashVolatile: true}, 2); got != 1 {
+		t.Errorf("crash after fence 1: w = %d, want 1", got)
+	}
+	if got, _ := run(chaos.Action{CrashVolatile: true}, 1); got != 0 {
+		t.Errorf("crash after flush 1 (unfenced): w = %d, want 0", got)
+	}
+	if got, _ := run(chaos.Action{CrashVolatile: true}, 4); got != 2 {
+		t.Errorf("crash after fence 2: w = %d, want 2", got)
+	}
+	// A torn crash at a flush boundary with a single pending word either
+	// drained it or lost it — both legal, never a third value.
+	if got, _ := run(chaos.Action{CrashVolatile: true, Torn: true}, 3); got != 0 && got != 2 {
+		t.Errorf("torn crash after flush 2: w = %d, want 0 or 2", got)
+	}
+	// The ordinal stream is observable for schedule construction.
+	if _, p := run(chaos.Action{Crash: true}, 4); p.PersistOps() != 4 {
+		t.Errorf("PersistOps = %d at the crash, want 4", p.PersistOps())
+	}
+}
+
+// CrashVolatile on a processor that never enabled persistence degrades to
+// legacy Crash semantics — every committed store survives — and announces
+// the degradation with an obs event.
+func TestCrashVolatileDegradesWithoutPersistence(t *testing.T) {
+	var w Word
+	ring := NewRingTracer(256)
+	p := New(Config{Faults: chaos.OneShot{
+		Point: chaos.PointMemOp, N: 2, Action: chaos.Action{CrashVolatile: true, Torn: true},
+	}})
+	p.Tracer = ring
+	p.Go("main", func(e *Env) {
+		e.Store(&w, 1)
+		e.Store(&w, 2) // memop 2: the crash point
+	})
+	if err := p.Run(); !errors.Is(err, ErrMachineCrash) {
+		t.Fatalf("Run = %v, want ErrMachineCrash", err)
+	}
+	if w != 2 {
+		t.Errorf("w = %d after degraded crash, want 2 (fully persistent semantics)", w)
+	}
+	degraded := false
+	for _, ev := range ring.Events() {
+		if ev.Type == TraceCrashDegraded {
+			degraded = true
+		}
+	}
+	if !degraded {
+		t.Error("no crash-degraded event: the fallback to Crash semantics is silent")
+	}
+}

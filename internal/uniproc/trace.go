@@ -33,6 +33,10 @@ const (
 	TraceCrash    = obs.KindCrash
 	TraceRepair   = obs.KindRepair   // Arg = dead owner's ID
 	TraceEmulTrap = obs.KindEmulTrap // kernel-emulated atomic op
+	// TraceCrashDegraded: a CrashVolatile fault hit a processor without
+	// the persistence model enabled and fell back to legacy Crash
+	// semantics (nothing volatile to lose).
+	TraceCrashDegraded = obs.KindCrashDegraded // Arg = chaos.Action bits
 )
 
 // TraceEvent is an alias of the shared event schema (PC stays zero on

@@ -95,10 +95,17 @@ type Processor struct {
 	// analogue of vmach's 64-byte line buffer): nvShadow holds the NVM
 	// image of every word whose volatile contents have diverged, nvPending
 	// marks words whose write-back a flush initiated but no fence has yet
-	// made durable.
-	persist   bool
-	nvShadow  map[*Word]Word
-	nvPending map[*Word]bool
+	// made durable. nvOrder keeps the pending words in flush order —
+	// pointer maps iterate nondeterministically, and both the fence's
+	// drain and a torn crash's partial drain must replay bit-identically
+	// from a seed. Entries whose word has left nvPending (a later store
+	// cancelled the write-back, or a fence drained it) are stale and
+	// skipped.
+	persist    bool
+	nvShadow   map[*Word]Word
+	nvPending  map[*Word]bool
+	nvOrder    []*Word
+	persistOps uint64 // ordinal of Flush/Fence injection points (chaos.PointPersist)
 
 	clock       uint64
 	sliceEnd    uint64
@@ -388,6 +395,12 @@ func (p *Processor) notifyDeath(t *Thread) {
 // MemOps bounds the meaningful N for a chaos.OneShot kill schedule.
 func (p *Processor) MemOps() uint64 { return p.memOps }
 
+// PersistOps returns the number of Flush/Fence injection points passed so
+// far — the ordinal stream consulted at chaos.PointPersist. A reference
+// run's final PersistOps bounds the meaningful N for a crash schedule
+// that enumerates flush/fence boundaries.
+func (p *Processor) PersistOps() uint64 { return p.persistOps }
+
 // EnablePersistence turns on the two-tier NVRAM persistence model: every
 // Store/Commit lands in a volatile tier, reaches the non-volatile tier
 // only through Env.Flush + Env.Fence, and an injected volatile crash
@@ -400,6 +413,7 @@ func (p *Processor) EnablePersistence() {
 	p.persist = true
 	p.nvShadow = make(map[*Word]Word)
 	p.nvPending = make(map[*Word]bool)
+	p.nvOrder = nil
 }
 
 // Persistent reports whether the persistence model is enabled.
@@ -440,8 +454,47 @@ func (p *Processor) DiscardUnflushed() int {
 	if p.persist {
 		p.nvShadow = make(map[*Word]Word)
 		p.nvPending = make(map[*Word]bool)
+		p.nvOrder = nil
 	}
 	return n
+}
+
+// DiscardUnflushedTorn is the torn-write variant of a volatile crash
+// (chaos.Action.Torn): the NVM controller was partway through draining
+// the initiated write-backs when power failed. A deterministic prefix of
+// the pending words — in flush order, length derived from h — persist
+// their volatile contents; the rest, and every dirty-but-unflushed word,
+// revert to their NVM images. The word granularity stands in for vmach's
+// partial 64-byte line drain: the failure mode the journal's checksums
+// must catch is "some of the stores I flushed before one fence survived
+// and some did not". Returns the number of words reverted.
+func (p *Processor) DiscardUnflushedTorn(h uint64) int {
+	pending := p.pendingOrdered()
+	k := 0
+	if len(pending) > 0 {
+		k = int(chaos.Derive(h, uint64(len(pending))) % uint64(len(pending)+1))
+	}
+	for _, w := range pending[:k] {
+		delete(p.nvShadow, w) // drained: the volatile value is now durable
+	}
+	return p.DiscardUnflushed()
+}
+
+// pendingOrdered returns the live pending words in flush order, dropping
+// stale nvOrder entries (cancelled or already-drained write-backs).
+func (p *Processor) pendingOrdered() []*Word {
+	if len(p.nvPending) == 0 {
+		return nil
+	}
+	out := make([]*Word, 0, len(p.nvPending))
+	seen := make(map[*Word]bool, len(p.nvPending))
+	for _, w := range p.nvOrder {
+		if p.nvPending[w] && !seen[w] {
+			out = append(out, w)
+			seen[w] = true
+		}
+	}
+	return out
 }
 
 // CountHoldup records that a thread found a lock held by a suspended

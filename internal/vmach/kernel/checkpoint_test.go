@@ -250,6 +250,32 @@ func FuzzCheckpoint(f *testing.F) {
 	kp.M.Mem.FlushLine(guest.StackTop(1) - 64)
 	f.Add(kp.Capture().Encode())
 
+	// Mid-journal-transaction snapshots: the WAL workload is stepped until a
+	// flush has happened since the last fence, so the capture lands between
+	// the log record's write-back and its commit fence — pending (flushed,
+	// unfenced) lines AND dirty volatile lines in flight at once, the state
+	// a checkpoint taken inside a transaction must preserve exactly.
+	kj, progj := boot(f, ckptConfig(nil), guest.JournalProgram("redo", 4))
+	kj.M.Mem.EnablePersistence()
+	kj.Spawn(progj.MustSymbol("main"), guest.StackTop(1))
+	added := 0
+	for i := 0; i < 400 && added < 3; i++ {
+		fin, err := kj.RunSteps(5)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if fin {
+			break
+		}
+		if kj.M.Stats.Flushes > kj.M.Stats.Fences {
+			f.Add(kj.Capture().Encode())
+			added++
+		}
+	}
+	if added == 0 {
+		f.Fatal("journal workload never paused mid-transaction; corpus seed lost")
+	}
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeSnapshot(data)
 		if err != nil {

@@ -514,8 +514,18 @@ func (k *Kernel) injectStep(act chaos.Action) {
 	case act.CrashVolatile:
 		// The NVRAM-model crash: unflushed lines revert to their NVM
 		// images before the machine halts, so everything after the halt —
-		// checkpoints, recovery reboots — sees NVM contents only.
-		k.M.Mem.DiscardUnflushed()
+		// checkpoints, recovery reboots — sees NVM contents only. On a
+		// memory without the persistence model there is no volatile tier
+		// to lose and the fault degrades to the legacy full-persistence
+		// Crash; the degradation is announced so a trace reader can tell
+		// the schedule did not get the semantics it asked for.
+		if !k.M.Mem.Persistent() {
+			k.trace(TraceCrashDegraded, t, act.Bits())
+		} else if act.Torn {
+			k.M.Mem.DiscardUnflushedTorn(k.steps)
+		} else {
+			k.M.Mem.DiscardUnflushed()
+		}
 		k.crash()
 	case act.Crash:
 		k.crash()

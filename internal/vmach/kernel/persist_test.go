@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/chaos"
 	"repro/internal/guest"
 	"repro/internal/isa"
@@ -70,21 +71,44 @@ func TestCrashIsFullyPersistent(t *testing.T) {
 }
 
 // On a memory without the persistence model, CrashVolatile degrades to
-// Crash: there is no volatile tier to lose.
+// Crash: there is no volatile tier to lose, committed stores survive, and
+// the kernel announces the downgrade with a crash-degraded trace event so
+// a schedule reader can tell it did not get the semantics it asked for.
+// On a persistent memory the same schedule must stay silent.
 func TestCrashVolatileDegradesToCrashOnPlainMemory(t *testing.T) {
-	k, prog := boot(t, Config{
-		Strategy: &Designated{},
-		CheckAt:  CheckAtResume,
-		Faults: chaos.OneShot{
-			Point: chaos.PointStep, N: 2000,
-			Action: chaos.Action{CrashVolatile: true},
-		},
-	}, guest.RecoverableCounterProgram(2, 50))
-	if err := k.Run(); !errors.Is(err, ErrMachineCrash) {
-		t.Fatalf("Run = %v, want ErrMachineCrash", err)
+	run := func(mem *vmach.Memory) (k *Kernel, prog *asm.Program, degraded int) {
+		ring := NewRingTracer(4096)
+		k, prog = boot(t, Config{
+			Strategy: &Designated{},
+			CheckAt:  CheckAtResume,
+			Memory:   mem,
+			Faults: chaos.OneShot{
+				Point: chaos.PointStep, N: 2000,
+				Action: chaos.Action{CrashVolatile: true, Torn: true},
+			},
+		}, guest.RecoverableCounterProgram(2, 50))
+		k.Tracer = ring
+		if err := k.Run(); !errors.Is(err, ErrMachineCrash) {
+			t.Fatalf("Run = %v, want ErrMachineCrash", err)
+		}
+		for _, ev := range ring.Events() {
+			if ev.Type == TraceCrashDegraded {
+				degraded++
+			}
+		}
+		return k, prog, degraded
 	}
+
+	k, prog, degraded := run(nil) // nil Memory: plain, no persistence model
 	if got := k.M.Mem.Peek(prog.MustSymbol("counter")); got == 0 {
 		t.Error("CrashVolatile on plain memory lost committed stores")
+	}
+	if degraded != 1 {
+		t.Errorf("crash-degraded events on plain memory = %d, want exactly 1", degraded)
+	}
+
+	if _, _, degraded := run(persistMem()); degraded != 0 {
+		t.Errorf("crash-degraded events on persistent memory = %d, want 0", degraded)
 	}
 }
 

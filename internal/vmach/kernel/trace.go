@@ -25,6 +25,9 @@ const (
 	TraceKill      = obs.KindKill
 	TraceCrash     = obs.KindCrash
 	TraceEmulTrap  = obs.KindEmulTrap // kernel-emulated atomic op
+	// TraceCrashDegraded: a CrashVolatile fault hit a memory without the
+	// persistence model enabled and fell back to legacy Crash semantics.
+	TraceCrashDegraded = obs.KindCrashDegraded // Arg = chaos.Action bits
 )
 
 // TraceEvent is an alias of the shared event schema.

@@ -109,6 +109,50 @@ func (m *Memory) DiscardUnflushed() int {
 	return n
 }
 
+// DiscardUnflushedTorn is the torn-write variant of a volatile crash
+// (chaos.Action.Torn): power is lost while the NVM controller is halfway
+// through draining the initiated write-backs. Every line with a PENDING
+// write-back (flushed, fence not yet reached) persists only a prefix of
+// its words — the first k words of the line carry their volatile
+// contents, the rest revert to the NVM image — where k is derived
+// deterministically from h and the line number, so a torn crash replays
+// exactly. Lines that were dirty but never flushed revert entirely, as in
+// DiscardUnflushed. Returns the number of lines that lost at least one
+// word. Watchpoints do not fire — a crash is not a committed store.
+func (m *Memory) DiscardUnflushedTorn(h uint64) int {
+	n := 0
+	for line, img := range m.nvLines {
+		keep := 0 // words of the line whose volatile contents persist
+		if m.pending[line] {
+			keep = int(splitmix(h^uint64(line)) % (LineWords + 1))
+		}
+		base := line << LineShift
+		mem := m.page(base)[base>>2&(PageWords-1):][:LineWords]
+		torn := false
+		for i := keep; i < LineWords; i++ {
+			if mem[i] != img[i] {
+				torn = true
+			}
+			mem[i] = img[i]
+		}
+		if torn {
+			n++
+		}
+	}
+	clear(m.nvLines)
+	clear(m.pending)
+	return n
+}
+
+// splitmix is SplitMix64 (mirrors chaos.Derive's mixer) — kept local so
+// the memory model does not depend on the chaos package.
+func splitmix(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
 // NVPeek reads the NVM-tier value of the word at addr — what a crash at
 // this instant would leave behind — without disturbing either tier.
 func (m *Memory) NVPeek(addr uint32) isa.Word {

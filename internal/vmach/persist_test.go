@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/asm"
+	"repro/internal/isa"
 )
 
 // Store → flush → fence walks a word across the tiers: volatile first,
@@ -215,6 +216,64 @@ func TestMachineFlushFaultsOnNotPresentPage(t *testing.T) {
 	}
 	if len(m.Mem.PendingLines()) != 1 {
 		t.Fatal("retried flush did not initiate the write-back")
+	}
+}
+
+// A torn crash persists a deterministic PREFIX of each pending line's
+// words — never a subset with gaps — while dirty-but-unflushed lines
+// revert entirely, exactly as in a clean volatile crash.
+func TestDiscardUnflushedTornPersistsLinePrefix(t *testing.T) {
+	build := func() *Memory {
+		m := NewMemory()
+		m.EnablePersistence()
+		for i := uint32(0); i < LineWords; i++ {
+			m.StoreWord(0x1000+4*i, isa.Word(100+i))
+		}
+		m.StoreWord(0x2000, 55) // dirty, never flushed
+		m.FlushLine(0x1000)
+		return m
+	}
+	prefixLen := func(m *Memory) int {
+		k := 0
+		for ; k < LineWords; k++ {
+			if m.Peek(0x1000+4*uint32(k)) != isa.Word(100+k) {
+				break
+			}
+		}
+		for i := k; i < LineWords; i++ {
+			if got := m.Peek(0x1000 + 4*uint32(i)); got != 0 {
+				t.Fatalf("word %d = %d after torn crash with prefix %d — not a prefix", i, got, k)
+			}
+		}
+		return k
+	}
+	partial := false
+	for h := uint64(0); h < 32; h++ {
+		m := build()
+		m.DiscardUnflushedTorn(h)
+		k := prefixLen(m)
+		if 0 < k && k < LineWords {
+			partial = true
+		}
+		if got := m.Peek(0x2000); got != 0 {
+			t.Fatalf("h=%d: unflushed line survived a torn crash (word=%d)", h, got)
+		}
+		if m.DirtyLines() != nil || m.PendingLines() != nil {
+			t.Fatalf("h=%d: persistence buffer not empty after torn crash", h)
+		}
+		// Determinism: the same ordinal tears the same way.
+		m2 := build()
+		m2.DiscardUnflushedTorn(h)
+		if prefixLen(m2) != k {
+			t.Fatalf("h=%d: torn crash is not deterministic", h)
+		}
+		// What survived the crash is durable: a second crash changes nothing.
+		if m.DiscardUnflushed() != 0 {
+			t.Fatalf("h=%d: torn survivors were not durable", h)
+		}
+	}
+	if !partial {
+		t.Fatal("no h in [0,32) produced a partial line — the fault never tears")
 	}
 }
 

@@ -94,6 +94,15 @@ func FuzzSMPCheckpoint(f *testing.F) {
 		s.RunRounds(200)
 		f.Add(s.Capture().Encode())
 	}
+	// Mid-transaction seeds: staggered odd round counts land the capture
+	// inside the hybrid lock's critical section — one CPU mid-RAS-sequence
+	// or holding the spinlock word — so the corpus covers containers whose
+	// in-flight lock state must survive the wire, not just quiescent ones.
+	for _, rounds := range []uint64{3, 57, 201} {
+		s, _ := buildCounter(Config{CPUs: 2}, guest.SMPHybrid, 2, 10)
+		s.RunRounds(rounds)
+		f.Add(s.Capture().Encode())
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap, err := DecodeSnapshot(data)
 		if err != nil {
