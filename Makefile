@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos recovery smp persist journal examples check fuzz fmt lint vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery smp persist journal server examples check fuzz fmt lint vet clean tier1
 
 all: build vet test
 
@@ -50,6 +50,14 @@ smp:
 persist:
 	$(GO) run ./cmd/rasbench -table persist
 	$(GO) test -run 'Persist|Underflush' ./internal/mcheck/
+
+# Server request-plane load study (E25): the per-CPU data plane against
+# the global mutex queue, over a million replayed requests on the SMP
+# guest and the uniprocessor uxserver; the dedicated mcheck percpu
+# models run alongside.
+server:
+	$(GO) run ./cmd/rasbench -table server
+	$(GO) test -run 'Percpu' ./internal/mcheck/
 
 # Crash-consistent journaling (E24): undo vs redo WAL passage costs on
 # both substrates, torn-crash sweeps, memfs journal replay, and the

@@ -19,7 +19,10 @@
 // checkpoint replay, crash restore), persist (NVRAM persistence: volatile
 // crash sweeps with bounded durability loss and exact recovery, plus the
 // exhaustive crash-at-flush-boundary walk), smp (§7 hybrid RAS+spinlock
-// vs pure spinlock vs ll/sc across CPU counts; -cpus picks the counts).
+// vs pure spinlock vs ll/sc across CPU counts; -cpus picks the counts),
+// server (the per-CPU request plane vs the mutex queue, over a million
+// replayed requests on the SMP guest and the uniprocessor uxserver;
+// -cpus picks both the CPU and shard counts).
 package main
 
 import (
@@ -42,7 +45,7 @@ type benchOpts struct {
 	seed         uint64
 	level        float64
 	timeout      uint64
-	cpus         string // CPU counts for -table smp, e.g. "1,2,4"
+	cpus         string // CPU counts for -table smp/server, e.g. "1,2,4"
 	jsonOut      string // per-table results as JSON ("-" = stdout)
 	traceOut     string // Chrome trace-event JSON of every run ("-" = stdout)
 	metrics      string // event-derived metrics dump ("-" = stdout)
@@ -50,7 +53,7 @@ type benchOpts struct {
 
 func main() {
 	var o benchOpts
-	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,journal,smp,all")
+	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,journal,smp,server,all")
 	flag.IntVar(&o.iters, "iters", 20000, "microbenchmark loop iterations")
 	flag.IntVar(&o.scale, "scale", 1, "table 3 workload multiplier")
 	flag.Uint64Var(&o.seed, "seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
@@ -59,7 +62,7 @@ func main() {
 	flag.StringVar(&o.jsonOut, "json", "", "write per-table results (name, cycles, restarts, traps) as JSON (\"-\" = stdout)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of every substrate run (\"-\" = stdout; load in Perfetto)")
 	flag.StringVar(&o.metrics, "metrics", "", "write a plain-text metrics dump derived from the event stream (\"-\" = stdout)")
-	flag.StringVar(&o.cpus, "cpus", "", "comma-separated CPU counts for -table smp (default \"1,2,4\")")
+	flag.StringVar(&o.cpus, "cpus", "", "comma-separated CPU counts for -table smp (default \"1,2,4\") and -table server (default \"1,2,4,8\")")
 	flag.Parse()
 
 	if err := runOpts(o); err != nil {
@@ -87,6 +90,7 @@ type tableResult struct {
 	SMP         []bench.SMPRow     `json:"smp,omitempty"`     // row-level detail for -table smp
 	Persist     []bench.PersistRow `json:"persist,omitempty"` // row-level detail for -table persist
 	Journal     []bench.JournalRow `json:"journal,omitempty"` // row-level detail for -table journal
+	Server      []bench.ServerRow  `json:"server,omitempty"`  // row-level detail for -table server
 }
 
 // parseCPUList turns "-cpus 1,2,4" into []int{1, 2, 4}.
@@ -131,6 +135,7 @@ func runOpts(o benchOpts) error {
 	var smpRows []bench.SMPRow         // row-level detail captured by the smp step
 	var persistRows []bench.PersistRow // row-level detail captured by the persist step
 	var journalRows []bench.JournalRow // row-level detail captured by the journal step
+	var serverRows []bench.ServerRow   // row-level detail captured by the server step
 	runTable := func(name, title string, fn func() (string, error)) error {
 		if !all && o.table != name {
 			return nil
@@ -147,7 +152,8 @@ func runOpts(o benchOpts) error {
 		results = append(results, tableResult{Name: name, Runs: rs.Runs,
 			Cycles: rs.Cycles, Restarts: rs.Restarts,
 			Preemptions: rs.Preemptions, Traps: rs.EmulTraps,
-			SMP: smpRows, Persist: persistRows, Journal: journalRows})
+			SMP: smpRows, Persist: persistRows, Journal: journalRows,
+			Server: serverRows})
 		return nil
 	}
 
@@ -318,6 +324,27 @@ func runOpts(o benchOpts) error {
 			}
 			smpRows = rows
 			return bench.FormatSMP(rows), nil
+		}},
+		{"server", "Server sweep: per-CPU request plane vs mutex queue, one million requests", func() (string, error) {
+			cfg := bench.DefaultServerConfig()
+			cpuList, err := parseCPUList(o.cpus)
+			if err != nil {
+				return "", err
+			}
+			if cpuList != nil {
+				cfg.CPUList = cpuList
+				cfg.Shards = cpuList
+			}
+			if o.seed != 0 {
+				cfg.Seed = o.seed
+			}
+			cfg.MaxCycles = o.timeout
+			rows, err := bench.TableServer(cfg)
+			if err != nil {
+				return "", err
+			}
+			serverRows = rows
+			return bench.FormatServer(rows), nil
 		}},
 	}
 

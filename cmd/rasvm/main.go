@@ -38,6 +38,8 @@
 //
 //	rasvm -demo smp -cpus 4                          # §7 hybrid lock
 //	rasvm -demo smp -cpus 2 -lock ras-only           # loses updates
+//	rasvm -demo server -cpus 4                       # per-CPU request plane
+//	rasvm -demo server -cpus 2 -variant mutex        # global-queue baseline
 //
 // Fault and recovery flags: -kill-at injects thread kills at the given
 // retired-instruction steps; -crash-at injects a whole-machine crash.
@@ -84,14 +86,15 @@ type options struct {
 	metrics                 string // metrics dump destination ("-" = stdout)
 	profTop                 int    // top-N cycle profile report (0 = off)
 	folded                  string // folded-stack profile destination ("-" = stdout)
-	cpus                    int    // -demo smp: number of CPUs
+	cpus                    int    // -demo smp/server: number of CPUs
 	lock                    string // -demo smp: lock implementation
+	variant                 string // -demo server: request-plane variant
 	killCPU                 int    // -demo smp: CPU whose running thread -kill-at kills
 	args                    []string
 }
 
 // demos lists the built-in workloads -demo accepts.
-var demos = []string{"counter", "recoverable", "persistent", "journal", "smp"}
+var demos = []string{"counter", "recoverable", "persistent", "journal", "smp", "server"}
 
 func main() {
 	var o options
@@ -122,6 +125,7 @@ func main() {
 	flag.StringVar(&o.folded, "folded", "", "write the cycle profile as folded stacks for flamegraph tools (\"-\" = stdout)")
 	flag.IntVar(&o.cpus, "cpus", 1, "-demo smp: number of CPUs")
 	flag.StringVar(&o.lock, "lock", "hybrid", "-demo smp: lock implementation: hybrid, spinlock, llsc, ras-only")
+	flag.StringVar(&o.variant, "variant", "percpu", "-demo server: request plane: percpu, mutex, racy")
 	flag.IntVar(&o.killCPU, "kill-cpu", 0, "-demo smp: CPU whose running thread -kill-at kills")
 	flag.Parse()
 	o.args = flag.Args()
@@ -144,6 +148,9 @@ func run(o options) error {
 	}
 	if o.demo == "smp" {
 		return runSMP(o)
+	}
+	if o.demo == "server" {
+		return runServerDemo(o)
 	}
 	if o.demo == "persistent" {
 		return runPersistent(o)

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/vmach/kernel"
+	"repro/internal/vmach/smp"
+)
+
+// runServerDemo executes -demo server: the per-CPU request plane (or the
+// mutex baseline, or the planted racy drain) on an N-CPU system, with
+// -workers clients per CPU each submitting -iters requests. The printout
+// is the whole pitch in one screen: per-CPU served counts, zero RMRs on
+// the percpu path, and the exact request accounting.
+func runServerDemo(o options) error {
+	var v guest.ServerVariant
+	switch o.variant {
+	case "percpu":
+		v = guest.ServerPerCPU
+	case "mutex":
+		v = guest.ServerMutex
+	case "racy":
+		v = guest.ServerRacyDrain
+	default:
+		return fmt.Errorf("unknown -variant %q (percpu, mutex, racy)", o.variant)
+	}
+	if o.cpus < 1 {
+		return fmt.Errorf("-cpus must be at least 1")
+	}
+
+	cfg := smp.Config{CPUs: o.cpus, Quantum: o.quantum, MaxCycles: o.timeout,
+		NewStrategy: kernel.MultiRegistrationStrategy}
+	sys := smp.New(cfg)
+	prog := guest.Assemble(guest.ServerProgram(v, o.cpus))
+	sys.Load(prog)
+	if v != guest.ServerMutex {
+		for _, k := range sys.CPUs {
+			for _, r := range guest.ServerSequenceRanges(prog) {
+				if err := k.RegisterSequence(0, r[0], r[1]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	workerArg := o.workers
+	if v == guest.ServerMutex {
+		workerArg = o.workers * o.cpus
+	}
+	worker, client := prog.MustSymbol("worker"), prog.MustSymbol("client")
+	for cpu := 0; cpu < o.cpus; cpu++ {
+		sys.Spawn(cpu, worker, guest.StackTop(smp.GlobalID(cpu, 0)), isa.Word(workerArg))
+		for c := 0; c < o.workers; c++ {
+			sys.Spawn(cpu, client, guest.StackTop(smp.GlobalID(cpu, c+1)), isa.Word(o.iters))
+		}
+	}
+
+	var capture *obs.Capture
+	if o.traceOut != "" {
+		bus := obs.NewBus(0)
+		capture = &obs.Capture{}
+		bus.Attach(capture)
+		sys.AttachTracer(bus)
+	}
+
+	runErr := sys.Run()
+
+	fmt.Printf("cpus:          %d (%s request plane, %d clients x %d requests per CPU)\n",
+		o.cpus, v, o.workers, o.iters)
+	for i, k := range sys.CPUs {
+		fmt.Printf("cpu%-2d          cycles %-10d restarts %-4d preemptions %-4d rmrs %-6d\n",
+			i, k.M.Stats.Cycles, k.Stats.Restarts, k.Stats.Preemptions, k.M.Stats.RMRs)
+	}
+	served, batches := guest.ServerCounts(sys.Mem, prog, v, o.cpus)
+	want := uint64(o.cpus * o.workers * o.iters)
+	status := "ALL SERVED"
+	if served != want {
+		status = "REQUESTS LOST"
+	}
+	fmt.Printf("total:         %d cycles (%d wall), %d RMRs\n",
+		sys.TotalCycles(), sys.MaxCycles(), sys.TotalRMRs())
+	if batches > 0 {
+		fmt.Printf("batching:      %d drains, %.1f requests per batch\n",
+			batches, float64(served)/float64(batches))
+	}
+	fmt.Printf("served:        %d / %d  [%s]\n", served, want, status)
+
+	if capture != nil {
+		data, err := obs.ChromeTrace(capture.Events())
+		if err != nil {
+			return err
+		}
+		if err := writeOut(o.traceOut, data); err != nil {
+			return err
+		}
+		if o.traceOut != "-" {
+			fmt.Printf("trace:         %s (%d events; one track per CPU in Perfetto)\n",
+				o.traceOut, capture.Len())
+		}
+	}
+	return runErr
+}

@@ -67,6 +67,21 @@ var registry = map[string]modelEntry{
 		build:    pstructModel,
 		doc:      "uniproc persistent stack/queue transactionality under crashes; struct=stack|queue, mode=undo|redo",
 	},
+	"percpu-queue": {
+		defaults: map[string]string{"drain": "safe", "producers": "2", "iters": "2", "cpus": "1"},
+		build:    percpuQueueModel,
+		doc:      "uniproc percpu.Queue MPSC traffic accounting; drain=safe|unsafe (unsafe is the planted non-atomic drain)",
+	},
+	"percpu-freelist": {
+		defaults: map[string]string{"variant": "ras", "workers": "2", "iters": "1", "nodes": "2"},
+		build:    percpuFreeListModel,
+		doc:      "vmach guest intrusive free list; variant=ras|bare (bare double-allocates under preemption)",
+	},
+	"percpu-server": {
+		defaults: map[string]string{"variant": "percpu", "cpus": "1", "clients": "1", "iters": "2"},
+		build:    percpuServerModelBuild,
+		doc:      "smp guest request plane, exact served accounting; variant=percpu|mutex|racy (racy consumes unpublished slots)",
+	},
 }
 
 // Models lists the registered model names, sorted, with one-line docs.

@@ -164,6 +164,41 @@ func Suite() []SuiteEntry {
 			Why: "redo-logged stack, two crashes: the second can land inside Recover",
 		},
 		{
+			Model: "percpu-queue", Over: map[string]string{"drain": "safe"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "per-CPU MPSC queue: restartable batched drain under any two forced preemptions",
+		},
+		{
+			Model: "percpu-queue", Over: map[string]string{"drain": "unsafe"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "planted non-atomic drain: a push between head read and head clear is discarded",
+		},
+		{
+			Model: "percpu-freelist", Over: map[string]string{"variant": "ras"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "registered free-list pop/push: an interrupted pop restarts, ownership stays unique",
+		},
+		{
+			Model: "percpu-freelist", Over: map[string]string{"variant": "bare"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "unregistered pop: a preemption before the commit double-allocates a node",
+		},
+		{
+			Model: "percpu-server", Over: map[string]string{"variant": "percpu"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "per-CPU request ring: the worker waits for slot publication, accounting stays exact",
+		},
+		{
+			Model: "percpu-server", Over: map[string]string{"variant": "racy"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "planted racy drain: a producer preempted before publishing has its slot consumed empty",
+		},
+		{
+			Model: "percpu-server", Over: map[string]string{"variant": "mutex", "cpus": "2", "iters": "1"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "global-lock baseline at 2 CPUs: slower, but exact under forced preemptions",
+		},
+		{
 			Model: "broken2store", Mode: "random", K: 3, Seed: 0xC0FFEE, Count: 200,
 			Expect: "violation",
 			Why:    "randomized mode finds and shrinks the same defect from a seed",

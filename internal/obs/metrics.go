@@ -2,6 +2,7 @@ package obs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -49,6 +50,16 @@ type Histogram struct {
 	count, sum uint64
 }
 
+// NewHistogram returns a standalone (unregistered, unnamed) histogram
+// with the given inclusive upper bucket edges — for callers that want a
+// local latency distribution without a Registry.
+func NewHistogram(bounds []uint64) *Histogram {
+	return &Histogram{
+		bounds: append([]uint64{}, bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v uint64) {
 	h.count++
@@ -75,6 +86,49 @@ func (h *Histogram) Mean() float64 {
 	}
 	return float64(h.sum) / float64(h.count)
 }
+
+// Quantile returns an upper bound on the q-quantile observation for
+// 0 ≤ q ≤ 1: the smallest bucket edge at which the cumulative count
+// reaches ⌈q·count⌉. When the quantile falls in the overflow bucket the
+// result saturates at the largest configured edge (the histogram cannot
+// bound it more tightly). Returns 0 before the first observation.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var run uint64
+	for i, c := range h.counts {
+		run += c
+		if run >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// P50 returns the median's bucket edge.
+func (h *Histogram) P50() uint64 { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile bucket edge.
+func (h *Histogram) P95() uint64 { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile bucket edge.
+func (h *Histogram) P99() uint64 { return h.Quantile(0.99) }
 
 // Buckets returns (upper-bound, cumulative-count) pairs, the overflow
 // bucket last with bound ^uint64(0).

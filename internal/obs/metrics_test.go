@@ -50,6 +50,53 @@ func TestHistogramBuckets(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 10)) // edges 1..512
+	// 100 observations: 50 at ≤4, 45 at ≤64, 5 at ≤512.
+	for i := 0; i < 50; i++ {
+		h.Observe(3)
+	}
+	for i := 0; i < 45; i++ {
+		h.Observe(60)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(400)
+	}
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0, 4}, {0.5, 4}, {0.51, 64}, {0.95, 64}, {0.96, 512}, {0.99, 512}, {1, 512},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	if h.P50() != 4 || h.P95() != 64 || h.P99() != 512 {
+		t.Errorf("P50/P95/P99 = %d/%d/%d", h.P50(), h.P95(), h.P99())
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]uint64{10})
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	h.Observe(1000) // overflow bucket
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("overflow quantile = %d, want saturation at 10", got)
+	}
+	if got := h.Quantile(-1); got != 10 {
+		t.Errorf("clamped q<0 = %d", got)
+	}
+	empty := NewHistogram(nil)
+	empty.Observe(7)
+	if empty.Quantile(0.5) != 0 {
+		t.Error("no-bucket histogram quantile not 0")
+	}
+}
+
 func TestExpBuckets(t *testing.T) {
 	b := ExpBuckets(16, 4)
 	want := []uint64{16, 32, 64, 128}

@@ -1,0 +1,37 @@
+package percpu
+
+import (
+	"repro/internal/rseq"
+	"repro/internal/uniproc"
+)
+
+// Counter is a sharded counter: each thread increments its home CPU's
+// slot with a restartable sequence — no interlocked instruction, no
+// shared cache line — and Sum reconciles the slots on read (the librseq
+// per-CPU counter, Snippet 1's first example).
+type Counter struct {
+	d *Domain
+	c *rseq.PerCPUCounter
+}
+
+// NewCounter returns a counter sharded across the domain.
+func NewCounter(d *Domain) *Counter {
+	return &Counter{d: d, c: rseq.MakePerCPUCounter(d.CPUs())}
+}
+
+// Inc increments the calling thread's home slot.
+func (c *Counter) Inc(e *uniproc.Env) {
+	c.c.IncOn(e, c.d.Home(e))
+}
+
+// Add adds delta to the calling thread's home slot.
+func (c *Counter) Add(e *uniproc.Env, delta Word) {
+	c.c.AddOn(e, c.d.Home(e), delta)
+}
+
+// Sum totals every slot. The result is a consistent snapshot only once
+// the writers have quiesced; mid-run it is the usual statistical read a
+// sharded counter gives.
+func (c *Counter) Sum(e *uniproc.Env) Word {
+	return c.c.Sum(e)
+}

@@ -1,0 +1,69 @@
+// Package percpu is a per-CPU data-plane library built on the restartable
+// sequence primitives in internal/rseq — the production shape Snippet 1's
+// librseq header spells out: sharded counters, size-class free lists and
+// MPSC request queues whose fast paths execute no interlocked instruction
+// and touch no shared line.
+//
+// On the virtual uniprocessor every restartable sequence is globally
+// atomic (there is one CPU), so a Domain's "CPUs" are logical shards: the
+// correctness argument is the rseq one, and the sharding removes the
+// contention dimension — no thread ever spins on another shard's head
+// word in the common case. The literal multi-CPU story, with real per-CPU
+// lines and RMR counts, is the guest-asm twin of this package
+// (guest.ServerProgram and friends on internal/vmach/smp); the two share
+// the same structure so the bench tables can compare them like for like.
+package percpu
+
+import (
+	"repro/internal/rseq"
+	"repro/internal/uniproc"
+)
+
+// Word aliases the simulated memory word.
+type Word = rseq.Word
+
+// Domain is a set of logical CPUs (shards) and the thread→home-CPU
+// placement. Threads are assigned round-robin on first use, mirroring how
+// an OS spreads runnable threads across a machine; Pin overrides the
+// placement for harnesses that want a fixed layout.
+type Domain struct {
+	cpus int
+	home map[int]int // thread ID → home CPU
+	next int
+}
+
+// NewDomain returns a domain of the given width; widths below one clamp
+// to the uniprocessor degenerate case.
+func NewDomain(cpus int) *Domain {
+	if cpus < 1 {
+		cpus = 1
+	}
+	return &Domain{cpus: cpus, home: make(map[int]int)}
+}
+
+// CPUs reports the domain width.
+func (d *Domain) CPUs() int { return d.cpus }
+
+// Home returns the calling thread's home CPU, assigning one round-robin
+// on first call. The lookup is scheduler metadata, not simulated memory:
+// it charges a cycle of private computation and cannot be preempted
+// mid-update (the simulated threads are cooperative between memops).
+func (d *Domain) Home(e *uniproc.Env) int {
+	id := e.Self().ID
+	if cpu, ok := d.home[id]; ok {
+		return cpu
+	}
+	e.ChargeALU(1)
+	cpu := d.next % d.cpus
+	d.next++
+	d.home[id] = cpu
+	return cpu
+}
+
+// Pin places the calling thread on a fixed home CPU.
+func (d *Domain) Pin(e *uniproc.Env, cpu int) {
+	if cpu < 0 || cpu >= d.cpus {
+		cpu = 0
+	}
+	d.home[e.Self().ID] = cpu
+}

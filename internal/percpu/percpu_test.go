@@ -1,0 +1,361 @@
+package percpu
+
+import (
+	"testing"
+
+	"repro/internal/uniproc"
+)
+
+func TestDomainHomeStableAndRoundRobin(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 1 << 20})
+	d := NewDomain(3)
+	homes := make(map[int]int)
+	for i := 0; i < 6; i++ {
+		i := i
+		p.Go("t", func(e *uniproc.Env) {
+			h1 := d.Home(e)
+			e.Yield()
+			h2 := d.Home(e)
+			if h1 != h2 {
+				t.Errorf("thread %d: home moved %d -> %d", i, h1, h2)
+			}
+			homes[h1]++
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for cpu := 0; cpu < 3; cpu++ {
+		if homes[cpu] != 2 {
+			t.Errorf("cpu %d got %d threads, want 2 (round-robin)", cpu, homes[cpu])
+		}
+	}
+}
+
+func TestDomainPin(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 1 << 20})
+	d := NewDomain(4)
+	p.Go("t", func(e *uniproc.Env) {
+		d.Pin(e, 2)
+		if h := d.Home(e); h != 2 {
+			t.Errorf("home = %d after Pin(2)", h)
+		}
+		d.Pin(e, -1) // out of range clamps to 0
+		if h := d.Home(e); h != 0 {
+			t.Errorf("home = %d after Pin(-1)", h)
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterShardedSum(t *testing.T) {
+	const threads, iters = 6, 200
+	p := uniproc.New(uniproc.Config{Quantum: 61, JitterSeed: 9})
+	d := NewDomain(3)
+	c := NewCounter(d)
+	for i := 0; i < threads; i++ {
+		p.Go("inc", func(e *uniproc.Env) {
+			for j := 0; j < iters; j++ {
+				c.Inc(e)
+			}
+			c.Add(e, 1)
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pp := uniproc.New(uniproc.Config{})
+	pp.Go("check", func(e *uniproc.Env) {
+		want := Word(threads * (iters + 1))
+		if got := c.Sum(e); got != want {
+			t.Errorf("sum = %d, want %d", got, want)
+		}
+	})
+	if err := pp.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The MPSC queue must deliver every request exactly once, in arrival
+// order per producer, under contention and small quanta.
+func TestQueueExactDeliveryUnderContention(t *testing.T) {
+	const cpus, producersPerCPU, perProducer = 2, 3, 40
+	p := uniproc.New(uniproc.Config{Quantum: 73, JitterSeed: 5})
+	d := NewDomain(cpus)
+	q := NewQueue(d, 4) // tiny pool: exercises backpressure
+	total := cpus * producersPerCPU * perProducer
+	seen := make(map[Word]int)
+	producersDone := 0
+	for cpu := 0; cpu < cpus; cpu++ {
+		cpu := cpu
+		for w := 0; w < producersPerCPU; w++ {
+			w := w
+			p.Go("producer", func(e *uniproc.Env) {
+				d.Pin(e, cpu)
+				for i := 0; i < perProducer; i++ {
+					// Tag: cpu|producer|seq, unique per request.
+					q.Enqueue(e, Word(cpu*1_000_000+w*10_000+i))
+				}
+				producersDone++
+			})
+		}
+	}
+	for cpu := 0; cpu < cpus; cpu++ {
+		cpu := cpu
+		p.Go("consumer", func(e *uniproc.Env) {
+			d.Pin(e, cpu)
+			lastSeq := make(map[Word]int) // producer tag → last sequence
+			for {
+				batch := q.Drain(e, cpu)
+				if len(batch) == 0 {
+					if producersDone == cpus*producersPerCPU && len(seen) == total {
+						return
+					}
+					e.Yield()
+					continue
+				}
+				for _, v := range batch {
+					seen[v]++
+					prod, seq := v/10_000, int(v%10_000)
+					if last, ok := lastSeq[prod]; ok && seq <= last {
+						t.Errorf("producer %d out of order: %d after %d", prod, seq, last)
+					}
+					lastSeq[prod] = seq
+				}
+			}
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != total {
+		t.Fatalf("delivered %d distinct requests, want %d", len(seen), total)
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("request %d delivered %d times", v, n)
+		}
+	}
+	st := q.Stats()
+	if st.Enqueued != uint64(total) || st.Drained != uint64(total) {
+		t.Errorf("stats: enqueued %d drained %d, want %d", st.Enqueued, st.Drained, total)
+	}
+	if st.Batches == 0 || st.Drained/st.Batches < 1 {
+		t.Errorf("batches = %d", st.Batches)
+	}
+}
+
+// A consumer whose own queue is empty can steal a whole batch from a
+// loaded sibling; nothing is lost or duplicated.
+func TestQueueSteal(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 1 << 20})
+	d := NewDomain(2)
+	q := NewQueue(d, 8)
+	p.Go("producer", func(e *uniproc.Env) {
+		d.Pin(e, 0)
+		for i := 0; i < 5; i++ {
+			q.Enqueue(e, Word(100+i))
+		}
+		// CPU 1's consumer finds its own queue empty and steals CPU 0's.
+		if got := q.Drain(e, 1); got != nil {
+			t.Errorf("cpu1 drain = %v, want empty", got)
+		}
+		batch := q.Steal(e, 0)
+		if len(batch) != 5 {
+			t.Fatalf("stole %d, want 5", len(batch))
+		}
+		for i, v := range batch {
+			if v != Word(100+i) {
+				t.Errorf("batch[%d] = %d (arrival order broken)", i, v)
+			}
+		}
+		if q.Stats().Steals != 1 {
+			t.Errorf("steals = %d", q.Stats().Steals)
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The free pool is per-CPU: filling CPU 0's pool must block only CPU 0's
+// producers, and recycling un-blocks them.
+func TestQueueBackpressureIsPerCPU(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 1 << 20})
+	d := NewDomain(2)
+	q := NewQueue(d, 2)
+	p.Go("t", func(e *uniproc.Env) {
+		d.Pin(e, 0)
+		if !q.TryEnqueue(e, 1) || !q.TryEnqueue(e, 2) {
+			t.Fatal("pool smaller than configured")
+		}
+		if q.TryEnqueue(e, 3) {
+			t.Error("enqueue succeeded past cpu0's pool")
+		}
+		d.Pin(e, 1)
+		if !q.TryEnqueue(e, 4) {
+			t.Error("cpu1's pool affected by cpu0's backlog")
+		}
+		d.Pin(e, 0)
+		if got := q.Drain(e, 0); len(got) != 2 {
+			t.Fatalf("drain = %v", got)
+		}
+		if !q.TryEnqueue(e, 5) {
+			t.Error("recycle did not free the pool")
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DrainUnsafe is the planted bug kept for the model checker: quiet (no
+// concurrent pushes) it matches Drain exactly, which is what makes it
+// dangerous — only a push racing the walk is lost, and only a schedule
+// search finds that window. The mcheck percpu-queue model (variant=racy)
+// is the test that catches the race itself; this one pins the quiet-path
+// contract and the bounded walk.
+func TestDrainUnsafeQuietMatchesDrain(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 1 << 20})
+	d := NewDomain(1)
+	q := NewQueue(d, 8)
+	p.Go("t", func(e *uniproc.Env) {
+		d.Pin(e, 0)
+		for i := 0; i < 5; i++ {
+			q.Enqueue(e, Word(10+i))
+		}
+		got := q.DrainUnsafe(e, 0)
+		if len(got) != 5 {
+			t.Fatalf("unsafe drain = %v", got)
+		}
+		for i, v := range got {
+			if v != Word(10+i) {
+				t.Errorf("got[%d] = %d (arrival order broken)", i, v)
+			}
+		}
+		// Nodes were recycled: the pool is full again.
+		for i := 0; i < 8; i++ {
+			if !q.TryEnqueue(e, Word(i)) {
+				t.Fatalf("pool short after unsafe drain: %d/8", i)
+			}
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeListFastPathAndRefill(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 1 << 20})
+	d := NewDomain(2)
+	f := NewFreeList(d, []int{4, 16}, 16)
+	p.Go("t", func(e *uniproc.Env) {
+		d.Pin(e, 0)
+		// First allocation refills a batch; the following ones are fast.
+		h, ok := f.Alloc(e, 3)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		if len(f.Span(h)) != 4 {
+			t.Errorf("span = %d words, want 4", len(f.Span(h)))
+		}
+		for i := 0; i < RefillBatch-1; i++ {
+			if _, ok := f.Alloc(e, 4); !ok {
+				t.Fatal("alloc failed")
+			}
+		}
+		st := f.Stats()
+		if st.Refills != 1 {
+			t.Errorf("refills = %d, want 1", st.Refills)
+		}
+		if st.FastAllocs != RefillBatch-1 {
+			t.Errorf("fast allocs = %d, want %d", st.FastAllocs, RefillBatch-1)
+		}
+		// Free/alloc pairs stay fast forever after.
+		f.Free(e, h)
+		if _, ok := f.Alloc(e, 4); !ok {
+			t.Fatal("alloc after free failed")
+		}
+		if f.Stats().Refills != 1 {
+			t.Errorf("refills = %d after free/alloc, want 1", f.Stats().Refills)
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeListStealAndExhaustion(t *testing.T) {
+	p := uniproc.New(uniproc.Config{Quantum: 1 << 20})
+	d := NewDomain(2)
+	f := NewFreeList(d, []int{8}, 2) // 4 blocks total
+	p.Go("t", func(e *uniproc.Env) {
+		d.Pin(e, 0)
+		var held []int
+		for i := 0; i < 4; i++ {
+			h, ok := f.Alloc(e, 8)
+			if !ok {
+				t.Fatalf("alloc %d failed", i)
+			}
+			held = append(held, h)
+		}
+		if _, ok := f.Alloc(e, 8); ok {
+			t.Error("alloc succeeded with every block held")
+		}
+		if f.Stats().Failures != 1 {
+			t.Errorf("failures = %d", f.Stats().Failures)
+		}
+		if _, ok := f.Alloc(e, 999); ok {
+			t.Error("alloc succeeded for an impossible size")
+		}
+		// Park the blocks on cpu1's list, then steal them back from cpu0.
+		d.Pin(e, 1)
+		for _, h := range held {
+			f.Free(e, h)
+		}
+		d.Pin(e, 0)
+		if _, ok := f.Alloc(e, 8); !ok {
+			t.Fatal("steal path failed")
+		}
+		if f.Stats().Steals == 0 {
+			t.Error("no steal recorded")
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Exactly-once allocation under contention: concurrent alloc/free loops
+// across shards never hand the same block to two holders.
+func TestFreeListNoDoubleAllocation(t *testing.T) {
+	const threads, iters = 4, 120
+	p := uniproc.New(uniproc.Config{Quantum: 67, JitterSeed: 13})
+	d := NewDomain(2)
+	f := NewFreeList(d, []int{4}, 3)
+	owner := make(map[int]int)
+	for i := 0; i < threads; i++ {
+		tid := i + 1
+		p.Go("worker", func(e *uniproc.Env) {
+			for j := 0; j < iters; j++ {
+				h, ok := f.Alloc(e, 4)
+				if !ok {
+					e.Yield()
+					continue
+				}
+				if prev, held := owner[h]; held {
+					t.Errorf("block %d allocated to %d while held by %d", h, tid, prev)
+				}
+				owner[h] = tid
+				e.Yield() // hold across a reschedule
+				delete(owner, h)
+				f.Free(e, h)
+			}
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

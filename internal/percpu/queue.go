@@ -1,0 +1,166 @@
+package percpu
+
+import (
+	"repro/internal/rseq"
+	"repro/internal/uniproc"
+)
+
+// Queue is a set of per-CPU MPSC request queues: any thread may enqueue
+// (on its home CPU's queue, barrier-free), one consumer per CPU drains in
+// batches, and an idle consumer may steal a whole batch from another
+// CPU's queue as the slow path.
+//
+// Each CPU owns a fixed pool of request nodes. Enqueue pops a node from
+// the home CPU's free list, fills the payload, and pushes it onto the
+// ready list — three restartable sequences, no interlocked instruction.
+// Drain detaches the entire ready list in one restartable commit (the
+// librseq list-splice), reverses it to arrival order, reads the
+// payloads, and recycles the nodes. The free list doubles as
+// backpressure: a producer whose CPU has no free node waits for the
+// consumer to recycle.
+type Queue struct {
+	d     *Domain
+	cap   int    // nodes per CPU
+	ready []Word // per-CPU ready-list heads
+	free  []Word // per-CPU free-list heads
+	next  []Word // intrusive links, indexed by node
+	val   []Word // payloads, indexed by node
+
+	// Stats are plain counters (the simulated threads are cooperative
+	// between memops, so no synchronization is needed to maintain them).
+	stats QueueStats
+}
+
+// QueueStats counts queue traffic. Batches counts non-empty drains, so
+// Drained/Batches is the mean batch size — the number the batched-drain
+// design is buying.
+type QueueStats struct {
+	Enqueued   uint64
+	Drained    uint64
+	Batches    uint64
+	Steals     uint64 // non-empty batches taken from another CPU
+	FullWaits  uint64 // enqueue found the free list empty and yielded
+	EmptyPolls uint64 // drain found the ready list empty
+}
+
+// NewQueue returns a queue domain with perCPU request nodes per CPU.
+func NewQueue(d *Domain, perCPU int) *Queue {
+	if perCPU < 1 {
+		perCPU = 1
+	}
+	n := d.CPUs() * perCPU
+	q := &Queue{
+		d:     d,
+		cap:   perCPU,
+		ready: make([]Word, d.CPUs()),
+		free:  make([]Word, d.CPUs()),
+		next:  make([]Word, n),
+		val:   make([]Word, n),
+	}
+	// Seed every CPU's free list with its own node range. No Env runs
+	// yet, so the links are built directly.
+	for cpu := 0; cpu < d.CPUs(); cpu++ {
+		for i := 0; i < perCPU; i++ {
+			node := cpu*perCPU + i
+			q.next[node] = q.free[cpu]
+			q.free[cpu] = Word(node + 1)
+		}
+	}
+	return q
+}
+
+// Stats returns a copy of the traffic counters.
+func (q *Queue) Stats() QueueStats { return q.stats }
+
+// TryEnqueue enqueues v on the calling thread's home queue, reporting
+// false when that CPU's node pool is exhausted (queue full).
+func (q *Queue) TryEnqueue(e *uniproc.Env, v Word) bool {
+	cpu := q.d.Home(e)
+	node, ok := rseq.ListPop(e, &q.free[cpu], q.next)
+	if !ok {
+		return false
+	}
+	// The node is private between the pop and the ready push: the payload
+	// store needs no protection.
+	e.Store(&q.val[node], v)
+	rseq.ListPush(e, &q.ready[cpu], q.next, node)
+	q.stats.Enqueued++
+	return true
+}
+
+// Enqueue enqueues v on the home queue, yielding while the pool is full
+// — backpressure, not loss.
+func (q *Queue) Enqueue(e *uniproc.Env, v Word) {
+	for !q.TryEnqueue(e, v) {
+		q.stats.FullWaits++
+		e.Yield()
+	}
+}
+
+// Drain detaches the calling consumer's whole ready batch for the given
+// CPU, returning payloads in arrival order and recycling the nodes. An
+// empty return means the queue was empty at the detach.
+func (q *Queue) Drain(e *uniproc.Env, cpu int) []Word {
+	return q.drainHead(e, cpu, false)
+}
+
+// Steal drains another CPU's queue — the work-stealing slow path an idle
+// consumer runs. The detach is a single restartable commit, so a steal
+// is as safe as a local drain; it is only slower (and, on real hardware,
+// a remote reference — which is why it is the slow path).
+func (q *Queue) Steal(e *uniproc.Env, victim int) []Word {
+	return q.drainHead(e, victim, true)
+}
+
+func (q *Queue) drainHead(e *uniproc.Env, cpu int, steal bool) []Word {
+	nodes := rseq.ListPopAll(e, &q.ready[cpu], q.next)
+	if len(nodes) == 0 {
+		q.stats.EmptyPolls++
+		return nil
+	}
+	q.stats.Batches++
+	if steal {
+		q.stats.Steals++
+	}
+	// ListPopAll returns LIFO (push) order; reverse for arrival order.
+	out := make([]Word, len(nodes))
+	for i, node := range nodes {
+		out[len(nodes)-1-i] = e.Load(&q.val[node])
+		// Recycle to the node's owning CPU so per-CPU capacity holds.
+		rseq.ListPush(e, &q.free[node/q.cap], q.next, node)
+	}
+	q.stats.Drained += uint64(len(out))
+	return out
+}
+
+// DrainUnsafe is a deliberately broken drain kept as a model-checking
+// target (the planted bug, like guest.BrokenTwoStoreProgram): instead of
+// detaching the ready list in one restartable commit it reads the head,
+// walks the chain non-atomically, and then clears the head with a plain
+// store. A producer that pushes between the read and the clear has its
+// request silently discarded — the lost-update the mcheck percpu-queue
+// model catches and shrinks. Do not use it for real work.
+func (q *Queue) DrainUnsafe(e *uniproc.Env, cpu int) []Word {
+	h := e.Load(&q.ready[cpu])
+	if h == 0 {
+		q.stats.EmptyPolls++
+		return nil
+	}
+	var out []Word
+	// Bound the walk: concurrent recycling can splice the chain under
+	// us, and an adversarial schedule could otherwise loop it.
+	for steps := 0; h != 0 && steps < len(q.next); steps++ {
+		node := int(h - 1)
+		out = append(out, e.Load(&q.val[node]))
+		h = e.Load(&q.next[node])
+		rseq.ListPush(e, &q.free[node/q.cap], q.next, node)
+	}
+	e.Store(&q.ready[cpu], 0) // drops any push since the head read
+	q.stats.Batches++
+	q.stats.Drained += uint64(len(out))
+	// Reverse in place for arrival order, matching Drain.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

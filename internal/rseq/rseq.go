@@ -5,11 +5,21 @@
 // Linux's rseq(2) and librseq: a per-CPU critical section that the kernel
 // aborts (vectoring to an abort handler, the moral equivalent of the
 // paper's rollback) whenever the thread is preempted or migrated, with a
-// single committing store ending the sequence. On a uniprocessor there is
-// exactly one "CPU", so the per-CPU dimension degenerates — but the
-// operation shapes are the same ones librseq exports, and they are
-// implemented here with the same structure: loads and private computation,
-// then one commit.
+// single committing store ending the sequence. The operation shapes here
+// are the ones librseq exports, implemented with the same structure:
+// loads and private computation, then one commit.
+//
+// The per-CPU dimension appears twice in this codebase. On the SMP
+// substrate (internal/vmach/smp) it is literal: guest-asm restartable
+// sequences registered per CPU via SysRasRegister operate on CPU-indexed
+// lines, and internal/rseq's SMP tests plus guest.PerCPUCounterProgram
+// exercise them under chaos preemption and eviction. On the virtual
+// uniprocessor the sequences are globally atomic — one CPU — and the
+// per-CPU index survives as a sharding dimension: PerCPUCounter carries
+// one slot per logical CPU so internal/percpu can build sharded
+// counters, free lists and queues whose fast paths are contention-free
+// by construction, with the single-slot counter as the 1-CPU degenerate
+// case.
 //
 // Each primitive returns false when the sequence observed a conflicting
 // value (the librseq convention of returning -EAGAIN/comparison failure);
@@ -91,25 +101,66 @@ func CmpEqvTrystorevStorev(e *uniproc.Env, v *Word, expect Word, v2 *Word, newv2
 }
 
 // PerCPUCounter is the canonical rseq use case: a counter incremented with
-// no atomic instructions. On the uniprocessor there is a single CPU slot;
-// the type keeps the librseq shape (a value per CPU) so code reads like its
-// modern counterpart.
+// no atomic instructions, one slot per logical CPU. The zero value is a
+// one-slot counter — the uniprocessor degenerate case; MakePerCPUCounter
+// sizes one for a sharded domain. Sum reconciles the slots with the
+// librseq read loop.
 type PerCPUCounter struct {
-	slots [1]Word
+	slots []Word
 }
 
-// Inc increments the calling CPU's slot.
+// MakePerCPUCounter returns a counter with one slot per logical CPU.
+func MakePerCPUCounter(cpus int) *PerCPUCounter {
+	if cpus < 1 {
+		cpus = 1
+	}
+	return &PerCPUCounter{slots: make([]Word, cpus)}
+}
+
+// Slots reports how many CPU slots the counter carries.
+func (c *PerCPUCounter) Slots() int {
+	if len(c.slots) == 0 {
+		return 1
+	}
+	return len(c.slots)
+}
+
+// slot returns the address of the given CPU's slot, growing a zero-value
+// counter on first use. Growth is safe: the simulated threads all run on
+// one host goroutine, and slots beyond the requested index are never
+// aliased before they exist.
+func (c *PerCPUCounter) slot(cpu int) *Word {
+	if cpu < 0 {
+		cpu = 0
+	}
+	for len(c.slots) <= cpu {
+		c.slots = append(c.slots, 0)
+	}
+	return &c.slots[cpu]
+}
+
+// IncOn increments the given CPU's slot.
+func (c *PerCPUCounter) IncOn(e *uniproc.Env, cpu int) {
+	Addv(e, c.slot(cpu), 1)
+}
+
+// AddOn adds delta to the given CPU's slot.
+func (c *PerCPUCounter) AddOn(e *uniproc.Env, cpu int, delta Word) {
+	Addv(e, c.slot(cpu), delta)
+}
+
+// Inc increments slot 0 — the calling CPU on a uniprocessor.
 func (c *PerCPUCounter) Inc(e *uniproc.Env) {
-	Addv(e, &c.slots[0], 1)
+	c.IncOn(e, 0)
 }
 
-// Add adds delta to the calling CPU's slot.
+// Add adds delta to slot 0.
 func (c *PerCPUCounter) Add(e *uniproc.Env, delta Word) {
-	Addv(e, &c.slots[0], delta)
+	c.AddOn(e, 0, delta)
 }
 
-// Sum totals all CPU slots (trivial here, but the read loop is the librseq
-// idiom).
+// Sum totals all CPU slots (the librseq reconciliation loop: each slot is
+// only ever written from its own CPU, so a plain read per slot suffices).
 func (c *PerCPUCounter) Sum(e *uniproc.Env) Word {
 	var total Word
 	for i := range c.slots {
@@ -128,6 +179,27 @@ func ListPush(e *uniproc.Env, head *Word, next []Word, node int) {
 		e.ChargeALU(1)
 		e.Commit(head, Word(node+1))
 	})
+}
+
+// ListPop pops one node from the intrusive list, returning its index and
+// whether the list was non-empty (librseq: per-CPU list pop). The load of
+// the popped node's link is part of the sequence: a push that lands
+// between the head read and the commit restarts the pop, so the link can
+// never be stale.
+func ListPop(e *uniproc.Env, head *Word, next []Word) (int, bool) {
+	node, ok := 0, false
+	e.Restartable(func() {
+		ok = false
+		h := e.Load(head)
+		if h == 0 {
+			return // empty: abort without committing
+		}
+		node = int(h - 1)
+		e.ChargeALU(2) // index arithmetic + link load
+		e.Commit(head, next[node])
+		ok = true
+	})
+	return node, ok
 }
 
 // ListPopAll detaches the whole list, returning the node indices in pop

@@ -121,6 +121,118 @@ func TestPerCPUCounter(t *testing.T) {
 	}
 }
 
+func TestPerCPUCounterSharded(t *testing.T) {
+	const shards, incsPerShard = 4, 300
+	p := uniproc.New(uniproc.Config{Quantum: 47, JitterSeed: 3})
+	c := MakePerCPUCounter(shards)
+	if c.Slots() != shards {
+		t.Fatalf("Slots() = %d, want %d", c.Slots(), shards)
+	}
+	for cpu := 0; cpu < shards; cpu++ {
+		cpu := cpu
+		p.Go("inc", func(e *uniproc.Env) {
+			for j := 0; j < incsPerShard; j++ {
+				c.IncOn(e, cpu)
+			}
+			c.AddOn(e, cpu, 2)
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pp := uniproc.New(uniproc.Config{})
+	pp.Go("check", func(e *uniproc.Env) {
+		want := Word(shards * (incsPerShard + 2))
+		if got := c.Sum(e); got != want {
+			t.Errorf("sum = %d, want %d", got, want)
+		}
+	})
+	if err := pp.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerCPUCounterZeroValueGrows(t *testing.T) {
+	runOn(t, 1<<20, func(e *uniproc.Env) {
+		var c PerCPUCounter
+		if c.Slots() != 1 {
+			t.Errorf("zero-value Slots() = %d, want 1", c.Slots())
+		}
+		c.Inc(e)
+		c.IncOn(e, 3) // growth on first touch of a new shard
+		if got := c.Sum(e); got != 2 {
+			t.Errorf("sum = %d, want 2", got)
+		}
+		if c.Slots() != 4 {
+			t.Errorf("Slots() = %d after IncOn(3), want 4", c.Slots())
+		}
+	})
+}
+
+func TestListPop(t *testing.T) {
+	runOn(t, 1<<20, func(e *uniproc.Env) {
+		var head Word
+		next := make([]Word, 3)
+		for node := 0; node < 3; node++ {
+			ListPush(e, &head, next, node)
+		}
+		for want := 2; want >= 0; want-- { // LIFO
+			node, ok := ListPop(e, &head, next)
+			if !ok || node != want {
+				t.Fatalf("pop = %d, %v; want %d", node, ok, want)
+			}
+		}
+		if _, ok := ListPop(e, &head, next); ok {
+			t.Error("pop from empty succeeded")
+		}
+	})
+}
+
+func TestListPushPopConcurrent(t *testing.T) {
+	// Pushers and a single popper race on one list under a small quantum:
+	// every node must be popped exactly once, never twice, never lost.
+	const pushers, per = 3, 50
+	p := uniproc.New(uniproc.Config{Quantum: 59, JitterSeed: 7})
+	var head Word
+	next := make([]Word, pushers*per)
+	seen := make([]bool, pushers*per)
+	done := 0
+	for i := 0; i < pushers; i++ {
+		base := i * per
+		p.Go("pusher", func(e *uniproc.Env) {
+			for j := 0; j < per; j++ {
+				ListPush(e, &head, next, base+j)
+			}
+			done++
+		})
+	}
+	p.Go("popper", func(e *uniproc.Env) {
+		total := 0
+		for {
+			if n, ok := ListPop(e, &head, next); ok {
+				if seen[n] {
+					t.Errorf("node %d popped twice", n)
+				}
+				seen[n] = true
+				total++
+				continue
+			}
+			if done == pushers && total == pushers*per {
+				return
+			}
+			e.Yield()
+		}
+	})
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for n, ok := range seen {
+		if !ok {
+			t.Errorf("node %d lost", n)
+		}
+	}
+}
+
 func TestListPushPopAll(t *testing.T) {
 	runOn(t, 1<<20, func(e *uniproc.Env) {
 		var head Word

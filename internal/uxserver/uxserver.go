@@ -9,6 +9,18 @@
 //
 // Clients call the synchronous file operations; each call enqueues a
 // request, wakes a worker thread, and blocks on a reply semaphore.
+//
+// The server comes in two request-plane shapes. Start builds the
+// original single shared queue under one mutex — every submit and every
+// drain crosses the same lock, which is the contention the paper's fast
+// mutexes make cheap but cannot make parallel. StartPerCPU rebuilds the
+// request plane on internal/percpu: each client enqueues on its home
+// shard's MPSC queue with three restartable sequences and no lock,
+// request descriptors come from a per-CPU free list, and one worker per
+// shard drains in batches, stealing a whole batch from a sibling shard
+// when its own queue is dry. The file operations themselves (memfs and
+// its per-file locking) are identical in both shapes, so benchmarks
+// comparing them isolate the request plane.
 package uxserver
 
 import (
@@ -16,8 +28,14 @@ import (
 
 	"repro/internal/cthreads"
 	"repro/internal/memfs"
+	"repro/internal/obs"
+	"repro/internal/percpu"
 	"repro/internal/uniproc"
 )
+
+// ErrStopped is returned by every file operation submitted after
+// Shutdown has marked the server stopped.
+var ErrStopped = errors.New("uxserver: server stopped")
 
 // op identifies a request type.
 type op int
@@ -61,8 +79,20 @@ type Server struct {
 	stopped  bool
 	workers  int
 
-	// Requests counts client calls served.
+	// Per-CPU request plane (nil in single-queue mode).
+	dom      *percpu.Domain
+	pq       *percpu.Queue
+	slots    *percpu.FreeList
+	bell     []*cthreads.Semaphore // one doorbell per shard
+	table    []*request            // descriptor handle → in-flight request
+	inflight int                   // accepted but not yet replied-to
+
+	// Requests counts client calls accepted.
 	Requests uint64
+
+	// Passage, when non-nil, records the cycle cost of each completed
+	// request (submit to reply) as seen by the client.
+	Passage *obs.Histogram
 }
 
 // Start creates the server and forks its worker threads on proc. Call
@@ -84,8 +114,95 @@ func Start(proc *uniproc.Processor, pkg *cthreads.Pkg, fs *memfs.FS, workers int
 	return s
 }
 
+// StartPerCPU creates the server with the per-CPU request plane and
+// forks one worker per shard on proc. Call before proc.Run. perShard is
+// each shard's queue depth (and descriptor pool size); values below one
+// get a sensible default.
+func StartPerCPU(proc *uniproc.Processor, pkg *cthreads.Pkg, fs *memfs.FS, shards, perShard int) *Server {
+	if shards < 1 {
+		shards = 1
+	}
+	if perShard < 1 {
+		perShard = 16
+	}
+	d := percpu.NewDomain(shards)
+	s := &Server{
+		pkg:     pkg,
+		fs:      fs,
+		workers: shards,
+		dom:     d,
+		pq:      percpu.NewQueue(d, perShard),
+		slots:   percpu.NewFreeList(d, []int{1}, perShard),
+		table:   make([]*request, shards*perShard),
+	}
+	for i := 0; i < shards; i++ {
+		s.bell = append(s.bell, pkg.NewSemaphore(0))
+		shard := i
+		proc.Go("ux-worker", func(e *uniproc.Env) { s.percpuWorker(e, shard) })
+	}
+	return s
+}
+
 // FS returns the underlying filesystem (for direct inspection in tests).
 func (s *Server) FS() *memfs.FS { return s.fs }
+
+// Shards reports the request-plane width: the number of per-CPU shards,
+// or the worker count in single-queue mode.
+func (s *Server) Shards() int { return s.workers }
+
+// PerCPU reports whether the server runs the per-CPU request plane.
+func (s *Server) PerCPU() bool { return s.pq != nil }
+
+// QueueStats returns the per-CPU queue traffic counters (zero value in
+// single-queue mode).
+func (s *Server) QueueStats() percpu.QueueStats {
+	if s.pq == nil {
+		return percpu.QueueStats{}
+	}
+	return s.pq.Stats()
+}
+
+// AllocStats returns the descriptor allocator's path counters (zero
+// value in single-queue mode).
+func (s *Server) AllocStats() percpu.FreeListStats {
+	if s.slots == nil {
+		return percpu.FreeListStats{}
+	}
+	return s.slots.Stats()
+}
+
+// percpuWorker is the per-shard consumer: it sleeps on its shard's
+// doorbell, drains its own queue in one restartable detach, serves the
+// whole batch, and — only when its own queue is dry — steals a batch
+// from a sibling shard. Spurious doorbell credits (a batched drain
+// consumes several enqueues' worth of signals) cost one empty poll each.
+func (s *Server) percpuWorker(e *uniproc.Env, shard int) {
+	s.dom.Pin(e, shard)
+	for {
+		s.bell[shard].P(e)
+		if s.serveBatch(e, s.pq.Drain(e, shard)) {
+			continue
+		}
+		stole := false
+		for i := 1; i < s.dom.CPUs() && !stole; i++ {
+			stole = s.serveBatch(e, s.pq.Steal(e, (shard+i)%s.dom.CPUs()))
+		}
+		if !stole && s.stopped {
+			return
+		}
+	}
+}
+
+func (s *Server) serveBatch(e *uniproc.Env, batch []percpu.Word) bool {
+	for _, h := range batch {
+		r := s.table[h]
+		s.table[h] = nil
+		s.execute(e, r)
+		s.slots.Free(e, int(h))
+		r.done.V(e)
+	}
+	return len(batch) > 0
+}
 
 func (s *Server) workerLoop(e *uniproc.Env) {
 	for {
@@ -134,11 +251,23 @@ func (s *Server) execute(e *uniproc.Env, r *request) {
 
 // submit enqueues r, wakes a worker, and waits for the reply.
 func (s *Server) submit(e *uniproc.Env, r *request) {
+	start := e.Now()
 	r.done = s.pkg.NewSemaphore(0)
+	if s.pq != nil {
+		s.submitPerCPU(e, r)
+	} else {
+		s.submitLocked(e, r)
+	}
+	if s.Passage != nil && r.err != ErrStopped {
+		s.Passage.Observe(e.Now() - start)
+	}
+}
+
+func (s *Server) submitLocked(e *uniproc.Env, r *request) {
 	s.mu.Lock(e)
 	if s.stopped {
 		s.mu.Unlock(e)
-		r.err = errors.New("uxserver: server stopped")
+		r.err = ErrStopped
 		return
 	}
 	s.queue = append(s.queue, r)
@@ -147,6 +276,35 @@ func (s *Server) submit(e *uniproc.Env, r *request) {
 	s.nonEmpty.Signal(e)
 	s.mu.Unlock(e)
 	r.done.P(e)
+}
+
+// submitPerCPU runs the lock-free request path: allocate a descriptor
+// from the per-CPU free list, enqueue its handle on the home shard's
+// queue, ring that shard's doorbell, wait for the reply. The stopped
+// check and the inflight increment are adjacent plain operations with no
+// simulated memory access between them, so (threads being cooperative
+// between memops) a submit is either refused or fully counted — Shutdown
+// can wait on inflight without a lock.
+func (s *Server) submitPerCPU(e *uniproc.Env, r *request) {
+	if s.stopped {
+		r.err = ErrStopped
+		return
+	}
+	s.inflight++
+	s.Requests++
+	cpu := s.dom.Home(e)
+	h, ok := s.slots.Alloc(e, 1)
+	for !ok {
+		// Descriptor pool exhausted: backpressure until a worker frees one.
+		e.Yield()
+		h, ok = s.slots.Alloc(e, 1)
+	}
+	s.table[h] = r
+	e.ChargeALU(10) // marshal
+	s.pq.Enqueue(e, percpu.Word(h))
+	s.bell[cpu].V(e)
+	r.done.P(e)
+	s.inflight--
 }
 
 // ReadFile reads a whole file through the server.
@@ -212,9 +370,27 @@ func (s *Server) Stat(e *uniproc.Env, path string) (isDir bool, size int, err er
 	return r.isDir, r.size, r.err
 }
 
-// Shutdown drains the queue and stops all worker threads. Call from a
+// Shutdown stops the server. Its contract, precisely: every request
+// whose submit was accepted before Shutdown marked the server stopped is
+// still served and its client woken with the reply; every submit after
+// that point fails with ErrStopped without being enqueued. In
+// single-queue mode Shutdown returns immediately after flagging the
+// workers — they drain the remaining queue to empty and then exit. In
+// per-CPU mode Shutdown additionally waits until every accepted request
+// has been replied to before ringing the workers out, so on return the
+// request plane is quiescent and all workers are exiting. Call from a
 // client thread when the workload is finished so the processor can halt.
 func (s *Server) Shutdown(e *uniproc.Env) {
+	if s.pq != nil {
+		s.stopped = true
+		for s.inflight > 0 {
+			e.Yield()
+		}
+		for _, b := range s.bell {
+			b.V(e)
+		}
+		return
+	}
 	s.mu.Lock(e)
 	s.stopped = true
 	s.nonEmpty.Broadcast(e)

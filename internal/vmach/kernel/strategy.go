@@ -72,6 +72,12 @@ type rasRange struct{ start, length uint32 }
 // NewMultiRegistration returns an empty registration table.
 func NewMultiRegistration() *MultiRegistration { return &MultiRegistration{} }
 
+// MultiRegistrationStrategy adapts NewMultiRegistration to the
+// per-CPU strategy-factory shape smp.Config.NewStrategy expects — the
+// configuration every multi-sequence guest program (percpu, server)
+// needs on an SMP machine.
+func MultiRegistrationStrategy() Strategy { return NewMultiRegistration() }
+
 // AddRange registers another restartable sequence [start, start+length).
 func (s *MultiRegistration) AddRange(start, length uint32) {
 	s.ranges = append(s.ranges, rasRange{start, length})
