@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos recovery smp persist journal server examples check fuzz fmt lint vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery smp persist journal server rmr examples check fuzz fmt lint vet clean tier1
 
 all: build vet test
 
@@ -66,6 +66,13 @@ server:
 journal:
 	$(GO) run ./cmd/rasbench -table journal
 	$(GO) test -run 'Journal|Pstruct|Memfs' ./internal/mcheck/
+
+# Queue-lock RMR study (E26): every lock variant's remote references per
+# passage across CPU counts and coherence modes, the recoverable-MCS kill
+# section, the qlock kill-edge sweeps, and the mcheck queue-lock models.
+rmr:
+	$(GO) run ./cmd/rasbench -table rmr
+	$(GO) test -run 'Qlock|KillSweep|KillWaiter|CrashRestore' ./internal/qlock/ ./internal/mcheck/
 
 examples:
 	$(GO) run ./examples/quickstart

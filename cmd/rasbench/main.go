@@ -22,7 +22,11 @@
 // vs pure spinlock vs ll/sc across CPU counts; -cpus picks the counts),
 // server (the per-CPU request plane vs the mutex queue, over a million
 // replayed requests on the SMP guest and the uniprocessor uxserver;
-// -cpus picks both the CPU and shard counts).
+// -cpus picks both the CPU and shard counts), rmr (queue locks: remote
+// memory references per passage across CPU counts and coherence modes,
+// with the recoverable-MCS kill section; -cpus picks the counts).
+//
+// `rasbench -list` prints every table with its description and exits.
 package main
 
 import (
@@ -49,11 +53,12 @@ type benchOpts struct {
 	jsonOut      string // per-table results as JSON ("-" = stdout)
 	traceOut     string // Chrome trace-event JSON of every run ("-" = stdout)
 	metrics      string // event-derived metrics dump ("-" = stdout)
+	list         bool   // print the table catalog and exit
 }
 
 func main() {
 	var o benchOpts
-	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,journal,smp,server,all")
+	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,journal,smp,server,rmr,all")
 	flag.IntVar(&o.iters, "iters", 20000, "microbenchmark loop iterations")
 	flag.IntVar(&o.scale, "scale", 1, "table 3 workload multiplier")
 	flag.Uint64Var(&o.seed, "seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
@@ -62,7 +67,8 @@ func main() {
 	flag.StringVar(&o.jsonOut, "json", "", "write per-table results (name, cycles, restarts, traps) as JSON (\"-\" = stdout)")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a Chrome trace-event JSON file of every substrate run (\"-\" = stdout; load in Perfetto)")
 	flag.StringVar(&o.metrics, "metrics", "", "write a plain-text metrics dump derived from the event stream (\"-\" = stdout)")
-	flag.StringVar(&o.cpus, "cpus", "", "comma-separated CPU counts for -table smp (default \"1,2,4\") and -table server (default \"1,2,4,8\")")
+	flag.StringVar(&o.cpus, "cpus", "", "comma-separated CPU counts for -table smp (default \"1,2,4\"), -table server (default \"1,2,4,8\"), and -table rmr (default \"1,2,3,4,6,8\")")
+	flag.BoolVar(&o.list, "list", false, "print every table name with its description and exit")
 	flag.Parse()
 
 	if err := runOpts(o); err != nil {
@@ -91,6 +97,7 @@ type tableResult struct {
 	Persist     []bench.PersistRow `json:"persist,omitempty"` // row-level detail for -table persist
 	Journal     []bench.JournalRow `json:"journal,omitempty"` // row-level detail for -table journal
 	Server      []bench.ServerRow  `json:"server,omitempty"`  // row-level detail for -table server
+	RMR         []bench.RMRRow     `json:"rmr,omitempty"`     // row-level detail for -table rmr
 }
 
 // parseCPUList turns "-cpus 1,2,4" into []int{1, 2, 4}.
@@ -136,6 +143,7 @@ func runOpts(o benchOpts) error {
 	var persistRows []bench.PersistRow // row-level detail captured by the persist step
 	var journalRows []bench.JournalRow // row-level detail captured by the journal step
 	var serverRows []bench.ServerRow   // row-level detail captured by the server step
+	var rmrRows []bench.RMRRow         // row-level detail captured by the rmr step
 	runTable := func(name, title string, fn func() (string, error)) error {
 		if !all && o.table != name {
 			return nil
@@ -153,7 +161,7 @@ func runOpts(o benchOpts) error {
 			Cycles: rs.Cycles, Restarts: rs.Restarts,
 			Preemptions: rs.Preemptions, Traps: rs.EmulTraps,
 			SMP: smpRows, Persist: persistRows, Journal: journalRows,
-			Server: serverRows})
+			Server: serverRows, RMR: rmrRows})
 		return nil
 	}
 
@@ -346,6 +354,33 @@ func runOpts(o benchOpts) error {
 			serverRows = rows
 			return bench.FormatServer(rows), nil
 		}},
+		{"rmr", "RMR sweep: queue locks' remote references per passage vs the spinlock's", func() (string, error) {
+			cfg := bench.DefaultRMRConfig()
+			cpuList, err := parseCPUList(o.cpus)
+			if err != nil {
+				return "", err
+			}
+			if cpuList != nil {
+				cfg.CPUList = cpuList
+			}
+			if o.seed != 0 {
+				cfg.Seed = o.seed
+			}
+			cfg.MaxCycles = o.timeout
+			rows, err := bench.TableRMR(cfg)
+			if err != nil {
+				return "", err
+			}
+			rmrRows = rows
+			return bench.FormatRMR(rows), nil
+		}},
+	}
+
+	if o.list {
+		for _, s := range steps {
+			fmt.Printf("%-10s %s\n", s.name, s.title)
+		}
+		return nil
 	}
 
 	known := all

@@ -32,7 +32,9 @@
 // (-torn makes the crash a torn write that persists only a prefix of
 // each in-flight line); "smp" runs the shared counter on
 // a multi-CPU system (-cpus) under the §7 hybrid RAS+spinlock (-lock
-// picks hybrid, spinlock, llsc, or the unsound ras-only control). The
+// picks hybrid, spinlock, llsc, or the unsound ras-only control);
+// "qlock" runs the queue-lock zoo (-lock adds mcs, rmcs, and the planted
+// rmcs-unspliced) with RMR accounting in -mode cc or dsm. The
 // final counter value and kernel statistics are printed, so the effect of
 // each recovery strategy (including "none") is directly observable.
 //
@@ -40,6 +42,8 @@
 //	rasvm -demo smp -cpus 2 -lock ras-only           # loses updates
 //	rasvm -demo server -cpus 4                       # per-CPU request plane
 //	rasvm -demo server -cpus 2 -variant mutex        # global-queue baseline
+//	rasvm -demo qlock -lock mcs -cpus 8              # MCS: O(1) RMR/passage
+//	rasvm -demo qlock -lock rmcs -cpus 2 -kill-at 300  # dead-owner repair
 //
 // Fault and recovery flags: -kill-at injects thread kills at the given
 // retired-instruction steps; -crash-at injects a whole-machine crash.
@@ -90,11 +94,12 @@ type options struct {
 	lock                    string // -demo smp: lock implementation
 	variant                 string // -demo server: request-plane variant
 	killCPU                 int    // -demo smp: CPU whose running thread -kill-at kills
+	smpMode                 string // -demo qlock: RMR counting mode, cc or dsm
 	args                    []string
 }
 
 // demos lists the built-in workloads -demo accepts.
-var demos = []string{"counter", "recoverable", "persistent", "journal", "smp", "server"}
+var demos = []string{"counter", "recoverable", "persistent", "journal", "smp", "server", "qlock"}
 
 func main() {
 	var o options
@@ -127,6 +132,7 @@ func main() {
 	flag.StringVar(&o.lock, "lock", "hybrid", "-demo smp: lock implementation: hybrid, spinlock, llsc, ras-only")
 	flag.StringVar(&o.variant, "variant", "percpu", "-demo server: request plane: percpu, mutex, racy")
 	flag.IntVar(&o.killCPU, "kill-cpu", 0, "-demo smp: CPU whose running thread -kill-at kills")
+	flag.StringVar(&o.smpMode, "mode", "cc", "-demo qlock: RMR counting mode: cc (cache-coherent) or dsm (distributed shared memory)")
 	flag.Parse()
 	o.args = flag.Args()
 
@@ -151,6 +157,9 @@ func run(o options) error {
 	}
 	if o.demo == "server" {
 		return runServerDemo(o)
+	}
+	if o.demo == "qlock" {
+		return runQlockDemo(o)
 	}
 	if o.demo == "persistent" {
 		return runPersistent(o)

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/qlock"
+	"repro/internal/vmach/smp"
+)
+
+// runQlockDemo executes -demo qlock: one of the queue-lock zoo variants
+// (-lock mcs|rmcs|spinlock|llsc|hybrid|rmcs-unspliced) on an N-CPU
+// system, one contender per CPU doing -iters passages, in the -mode
+// coherence model. -kill-at (with -kill-cpu) injects a thread kill at
+// the given fault ordinals, which the recoverable variant must repair;
+// the printout accounts for every passage, repair, splice and fallback,
+// plus the passage-latency quantiles the guest logged.
+func runQlockDemo(o options) error {
+	variant, ok := qlock.Variant(0), false
+	for _, v := range append(qlock.Variants(), qlock.RMCSUnspliced) {
+		if v.String() == o.lock {
+			variant, ok = v, true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown -lock %q (spinlock, llsc, hybrid, mcs, rmcs, rmcs-unspliced)", o.lock)
+	}
+	if o.cpus < 1 {
+		return fmt.Errorf("-cpus must be at least 1")
+	}
+	mode := smp.CC
+	if o.smpMode == "dsm" {
+		mode = smp.DSM
+	} else if o.smpMode != "" && o.smpMode != "cc" {
+		return fmt.Errorf("unknown -mode %q (cc, dsm)", o.smpMode)
+	}
+
+	cfg := qlock.Config{
+		Variant:   variant,
+		CPUs:      o.cpus,
+		Iters:     o.iters,
+		Mode:      mode,
+		Quantum:   o.quantum,
+		MaxCycles: o.timeout,
+	}
+	if o.killAt != "" {
+		var ordinals []uint64
+		for _, f := range strings.Split(o.killAt, ",") {
+			n, err := strconv.ParseUint(strings.TrimSpace(f), 10, 64)
+			if err != nil || n == 0 {
+				return fmt.Errorf("bad -kill-at entry %q", f)
+			}
+			ordinals = append(ordinals, n)
+		}
+		kcpu := o.killCPU
+		if kcpu < 0 || kcpu >= o.cpus {
+			return fmt.Errorf("-kill-cpu %d out of range (0..%d)", kcpu, o.cpus-1)
+		}
+		cfg.Faults = func(cpu int) chaos.Injector {
+			if cpu != kcpu {
+				return nil
+			}
+			var inj []chaos.Injector
+			for _, n := range ordinals {
+				inj = append(inj, chaos.OneShot{Point: chaos.PointStep, N: n,
+					Action: chaos.Action{Kill: true}})
+			}
+			return chaos.Compose(inj...)
+		}
+	}
+
+	r, err := qlock.New(cfg)
+	if err != nil {
+		return err
+	}
+	runErr := r.Sys.Run()
+
+	fmt.Printf("lock:          %s, %d CPUs x %d passages, %s mode\n",
+		variant, o.cpus, o.iters, mode)
+	for i, k := range r.Sys.CPUs {
+		fmt.Printf("cpu%-2d          cycles %-10d preemptions %-4d rmrs %-6d\n",
+			i, k.M.Stats.Cycles, k.Stats.Preemptions, k.M.Stats.RMRs)
+	}
+	res, cerr := r.Collect()
+	if res == nil {
+		if cerr != nil {
+			return cerr
+		}
+		return runErr
+	}
+	status := "EXACT"
+	if cerr != nil {
+		status = cerr.Error()
+		if res.Counter == res.Passages+1 {
+			status = "EXACT (one contender died inside its critical section)"
+		}
+	}
+	fmt.Printf("passages:      %d completed, counter %d  [%s]\n",
+		res.Passages, res.Counter, status)
+	fmt.Printf("rmr:           %d total, %.3f per passage\n",
+		res.RMRs, float64(res.RMRs)/float64(maxU64(res.Passages, 1)))
+	fmt.Printf("latency:       p50 %d  p95 %d  p99 %d cycles\n",
+		res.Lat.P50(), res.Lat.P95(), res.Lat.P99())
+	if res.Repairs+res.Splices+res.Fallback+res.Scans+res.Aborts > 0 {
+		fmt.Printf("recovery:      %d repairs, %d splices, %d fallbacks, %d scans, %d aborts\n",
+			res.Repairs, res.Splices, res.Fallback, res.Scans, res.Aborts)
+	}
+	if res.Alive < o.cpus {
+		fmt.Printf("threads:       %d of %d survived\n", res.Alive, o.cpus)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	return cerr
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

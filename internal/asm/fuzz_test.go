@@ -34,6 +34,17 @@ func FuzzAssemble(f *testing.F) {
 		strings.Repeat("nop\n", 100),
 		".word 5",
 		"addi t0, t0, -32768\naddi t0, t0, 32767",
+		// The MCS queue-lock idioms (internal/qlock guest code): the
+		// tail swap, the handoff publication, and the local spin.
+		"macq:\n\tmove t5, s1\n\txchg t5, 0(s4)\n\tsw t5, 4(s1)\n\tbeq t5, zero, mgot\n\tsw s1, 0(t5)\nmspin:\n\tlw t0, 8(s1)\n\tbne t0, zero, mspin\nmgot:\n\tnop",
+		// The recoverable variant's owner-word claim: epoch<<16|gtid+1
+		// built from shifts, decided by ll/sc.
+		"rclaim:\n\tll t2, 0(s5)\n\tsrl t3, t2, 16\n\taddi t3, t3, 1\n\tsll t3, t3, 16\n\tor t3, t3, s6\n\tsc t3, 0(s5)\n\tbeq t3, zero, rclaim",
+		// Release-side handoff handshake: state CAS 1 -> 3 with faa as
+		// the fetch, then the successor store.
+		"\tfaa t6, 12(t5)\n\tlw t7, 0(t5)\n\tsw zero, 4(s1)\n\tsw zero, 12(s1)",
+		// Line-strided qnode data, the shape every queue variant lays out.
+		".data\nqtail: .word 0\n.space 60\nqnodes: .space 256\n.align 6\nlats: .space 128",
 	}
 	for _, s := range seeds {
 		f.Add(s)

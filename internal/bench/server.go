@@ -56,8 +56,10 @@ func DefaultServerConfig() ServerConfig {
 // report RMRs and wall-clock throughput: WallCycles is the busiest
 // CPU's cycle count, so Throughput (requests per thousand wall cycles)
 // scaling with CPUs is the per-CPU design's whole claim, while the
-// mutex baseline's flatlines. Uniproc rows (World "uniproc") add the
-// client-observed passage-cost quantiles from the uxserver histogram.
+// mutex baseline's flatlines. Every row carries client-observed latency
+// quantiles: guest rows from the per-CPU submission histogram the guest
+// logs (log2 bucket edges), uniproc rows from the uxserver passage
+// histogram.
 type ServerRow struct {
 	Impl         string // percpu | mutex | ux-single | ux-percpu
 	World        string // smp | uniproc
@@ -72,7 +74,7 @@ type ServerRow struct {
 	RMRPerReq    float64
 	Restarts     uint64
 	MeanBatch    float64 // requests per non-empty drain
-	P50          uint64  // uniproc rows: passage-cost bucket edges
+	P50          uint64  // client-observed latency bucket edges
 	P95          uint64
 	P99          uint64
 }
@@ -86,12 +88,14 @@ func serverRun(cfg ServerConfig, mode smp.Mode, v guest.ServerVariant, cpus, ite
 		NewStrategy: kernel.MultiRegistrationStrategy})
 	prog := guest.Assemble(guest.ServerProgram(v, cpus))
 	sys.Load(prog)
-	if v != guest.ServerMutex {
-		for _, k := range sys.CPUs {
-			for _, r := range guest.ServerSequenceRanges(prog) {
-				if err := k.RegisterSequence(0, r[0], r[1]); err != nil {
-					return ServerRow{}, err
-				}
+	for _, k := range sys.CPUs {
+		ranges := guest.ServerLatSequenceRanges(prog)
+		if v != guest.ServerMutex {
+			ranges = append(ranges, guest.ServerSequenceRanges(prog)...)
+		}
+		for _, r := range ranges {
+			if err := k.RegisterSequence(0, r[0], r[1]); err != nil {
+				return ServerRow{}, err
 			}
 		}
 	}
@@ -118,6 +122,16 @@ func serverRun(cfg ServerConfig, mode smp.Mode, v guest.ServerVariant, cpus, ite
 		return ServerRow{}, fmt.Errorf("bench: server %s/%dcpu/%s: served %d, want %d — request lost",
 			v, cpus, mode, served, requests)
 	}
+	lat := obs.NewHistogram(obs.ExpBuckets(1, guest.ServerLatBuckets))
+	var latTotal uint64
+	for b, n := range guest.ServerLatCounts(sys.Mem, prog, cpus) {
+		lat.ObserveN(uint64(1)<<b, n)
+		latTotal += n
+	}
+	if latTotal != requests {
+		return ServerRow{}, fmt.Errorf("bench: server %s/%dcpu/%s: %d latency observations, want %d",
+			v, cpus, mode, latTotal, requests)
+	}
 	wall := sys.MaxCycles()
 	cycles, rmrs := sys.TotalCycles(), sys.TotalRMRs()
 	row := ServerRow{
@@ -133,6 +147,9 @@ func serverRun(cfg ServerConfig, mode smp.Mode, v guest.ServerVariant, cpus, ite
 		RMRs:         rmrs,
 		RMRPerReq:    float64(rmrs) / float64(requests),
 		Restarts:     sys.TotalRestarts(),
+		P50:          lat.P50(),
+		P95:          lat.P95(),
+		P99:          lat.P99(),
 	}
 	if batches > 0 {
 		row.MeanBatch = float64(served) / float64(batches)
@@ -301,13 +318,9 @@ func FormatServer(rows []ServerRow) string {
 	fmt.Fprintf(&b, "%-10s %-8s %5s %5s %10s %12s %11s %12s %10s %8s %8s %8s\n",
 		"Impl", "World", "CPUs", "Mode", "Requests", "Cycles/req", "Req/kcycle", "RMR/req", "MeanBatch", "p50", "p95", "p99")
 	for _, r := range rows {
-		p50, p95, p99 := "-", "-", "-"
-		if r.World == "uniproc" {
-			p50, p95, p99 = fmt.Sprint(r.P50), fmt.Sprint(r.P95), fmt.Sprint(r.P99)
-		}
-		fmt.Fprintf(&b, "%-10s %-8s %5d %5s %10d %12.1f %11.3f %12.4f %10.1f %8s %8s %8s\n",
+		fmt.Fprintf(&b, "%-10s %-8s %5d %5s %10d %12.1f %11.3f %12.4f %10.1f %8d %8d %8d\n",
 			r.Impl, r.World, r.CPUs, r.Mode, r.Requests,
-			r.CyclesPerReq, r.Throughput, r.RMRPerReq, r.MeanBatch, p50, p95, p99)
+			r.CyclesPerReq, r.Throughput, r.RMRPerReq, r.MeanBatch, r.P50, r.P95, r.P99)
 	}
 	fmt.Fprintf(&b, "\ntotal requests replayed: %d\n", TotalServerRequests(rows))
 	return b.String()

@@ -46,6 +46,14 @@ func (v ServerVariant) String() string {
 // slot index is tail & (ServerRing-1)).
 const ServerRing = 8
 
+// ServerLatBuckets is the per-CPU client-latency histogram size: bucket
+// b counts requests whose submission took floor(log2(cycles)) == b,
+// measured from the first reservation attempt (so full-ring stalls and
+// lock waits count) to payload publication. Each CPU's array is two
+// private coherence lines; the increment is a registered restartable
+// sequence so client siblings on one CPU never lose a count.
+const ServerLatBuckets = 32
+
 // Per-CPU block layout (one 64-byte coherence line per CPU, so the
 // percpu variant's request path never crosses a line boundary into
 // another CPU's traffic):
@@ -80,7 +88,7 @@ const (
 // registered on every CPU's kernel; RegisterServerSequences does it.
 func ServerProgram(v ServerVariant, cpus int) string {
 	if v == ServerMutex {
-		return serverMutexProgram()
+		return serverMutexProgram(cpus)
 	}
 	var b strings.Builder
 	b.WriteString("\t.text\n")
@@ -95,7 +103,13 @@ func ServerProgram(v ServerVariant, cpus int) string {
 	sll  t0, v0, 6          # my CPU's block, one line per CPU
 	la   s1, pcb
 	add  s1, s1, t0
+	sll  t0, v0, 7          # my CPU's latency lines (two per CPU)
+	la   s2, lats
+	add  s2, s2, t0
 	ori  s4, zero, %d       # ring capacity
+	li   v0, 6              # SysTime: first submission starts now
+	syscall
+	move s3, v0
 ploop:
 rsv_seq:
 	lw   v0, %d(s1)         # tail — restartable reservation begins
@@ -110,8 +124,30 @@ rsv_end:
 	add  t5, t5, s1
 	ori  t6, zero, 1
 	sw   t6, %d(t5)         # payload 1 = one unit request
+	li   v0, 6              # SysTime: submission complete
+	syscall
+	sub  t0, v0, s3
+	move t1, zero
+plb1:
+	srl  t0, t0, 1          # floor(log2(cycles)) into my CPU's bucket
+	beq  t0, zero, plb2
+	addi t1, t1, 1
+	b    plb1
+plb2:
+	sll  t2, t1, 2
+	add  t2, t2, s2
+lat_seq:
+	lw   t3, 0(t2)          # registered: a preempted count restarts
+	addi t3, t3, 1
+	sw   t3, 0(t2)
+lat_end:
 	addi s0, s0, -1
-	bne  s0, zero, ploop
+	beq  s0, zero, pexit
+	li   v0, 6              # SysTime: next submission starts
+	syscall
+	move s3, v0
+	b    ploop
+pexit:
 inc_seq:
 	lw   v0, %d(s1)         # done++ — restartable: siblings race here
 	addi t0, v0, 1
@@ -121,8 +157,8 @@ inc_end:
 	move a0, zero
 	syscall
 pfull:
-	li   v0, 1              # SysYield until the worker drains
-	syscall
+	li   v0, 1              # SysYield until the worker drains; the clock
+	syscall                 # keeps running — the stall is client-visible
 	b    ploop
 `, ServerRing,
 		serverOffTail, serverOffHead, serverOffTail,
@@ -185,14 +221,15 @@ wyield:
 		serverOffBatches, serverOffBatches,
 		serverOffDone, serverOffHead, serverOffTail, serverOffServed)
 
-	fmt.Fprintf(&b, "\n\t.data\npcb:\t.space %d\n", 64*maxInt(cpus, 1))
+	fmt.Fprintf(&b, "\n\t.data\npcb:\t.space %d\nlats:\t.space %d\n",
+		64*maxInt(cpus, 1), 4*ServerLatBuckets*maxInt(cpus, 1))
 	return b.String()
 }
 
 // serverMutexProgram is the single-queue baseline: the same ring and the
 // same counters, but one global copy of each, every access under one
 // global test-and-set lock.
-func serverMutexProgram() string {
+func serverMutexProgram(cpus int) string {
 	var b strings.Builder
 	b.WriteString("\t.text\n")
 	fmt.Fprintf(&b, `client:                         # a0 = requests to submit
@@ -200,6 +237,14 @@ func serverMutexProgram() string {
 	la   s1, glock
 	la   s2, gblock
 	ori  s4, zero, %d
+	li   v0, 11             # SysCPU: latency lines are per CPU
+	syscall
+	sll  t0, v0, 7
+	la   s5, lats
+	add  s5, s5, t0
+	li   v0, 6              # SysTime: first submission starts now
+	syscall
+	move s3, v0
 ploop:
 	lw   t1, %d(s2)         # unlocked fullness peek: a client that
 	lw   t2, %d(s2)         # cannot enqueue must not grab the lock,
@@ -222,8 +267,29 @@ pacq:
 	addi t1, t1, 1
 	sw   t1, %d(s2)         # gtail++
 	sw   zero, 0(s1)        # release
+	li   v0, 6              # SysTime: submission complete
+	syscall
+	sub  t0, v0, s3
+	move t1, zero
+plb1:
+	srl  t0, t0, 1          # floor(log2(cycles)) into my CPU's bucket
+	beq  t0, zero, plb2
+	addi t1, t1, 1
+	b    plb1
+plb2:
+	sll  t2, t1, 2
+	add  t2, t2, s5
+lat_seq:
+	lw   t3, 0(t2)          # registered even for the mutex baseline: the
+	addi t3, t3, 1          # instrumentation must stay exact while the
+	sw   t3, 0(t2)          # lock path stays unregistered
+lat_end:
 	addi s0, s0, -1
-	bne  s0, zero, ploop
+	beq  s0, zero, dacq
+	li   v0, 6              # SysTime: next submission starts
+	syscall
+	move s3, v0
+	b    ploop
 dacq:
 	lw   v0, 0(s1)          # done++ needs the lock too
 	bne  v0, zero, dwait
@@ -303,7 +369,8 @@ wyield:
 		serverOffBatches, serverOffBatches,
 		serverOffDone, serverOffHead, serverOffTail)
 
-	b.WriteString("\n\t.data\nglock:\t.word 0\n\t.space 60\ngblock:\t.space 64\n")
+	fmt.Fprintf(&b, "\n\t.data\nglock:\t.word 0\n\t.space 60\ngblock:\t.space 64\nlats:\t.space %d\n",
+		4*ServerLatBuckets*maxInt(cpus, 1))
 	return b.String()
 }
 
@@ -488,6 +555,14 @@ func ServerSequenceRanges(p *asm.Program) [][2]uint32 {
 	return SequenceRanges(p, "rsv_seq", "rsv_end", "inc_seq", "inc_end")
 }
 
+// ServerLatSequenceRanges lists the latency-count increment, registered
+// for EVERY variant — including the mutex baseline, whose request path
+// stays unregistered — so the histogram totals are exact under any
+// schedule.
+func ServerLatSequenceRanges(p *asm.Program) [][2]uint32 {
+	return SequenceRanges(p, "lat_seq", "lat_end")
+}
+
 // PerCPUCounterSequenceRanges lists PerCPUCounterProgram's registered
 // range.
 func PerCPUCounterSequenceRanges(p *asm.Program) [][2]uint32 {
@@ -528,4 +603,18 @@ func ServerCounts(mem Peeker, p *asm.Program, v ServerVariant, cpus int) (served
 		batches += uint64(mem.Peek(base + uint32(cpu*64) + serverOffBatches))
 	}
 	return served, batches
+}
+
+// ServerLatCounts reads the client-latency histogram out of a finished
+// ServerProgram run, merged across CPUs: counts[b] requests took
+// floor(log2(cycles)) == b to submit.
+func ServerLatCounts(mem Peeker, p *asm.Program, cpus int) []uint64 {
+	base := p.MustSymbol("lats")
+	counts := make([]uint64, ServerLatBuckets)
+	for cpu := 0; cpu < maxInt(cpus, 1); cpu++ {
+		for b := 0; b < ServerLatBuckets; b++ {
+			counts[b] += uint64(mem.Peek(base + uint32(4*ServerLatBuckets*cpu+4*b)))
+		}
+	}
+	return counts
 }

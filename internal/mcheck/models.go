@@ -82,6 +82,16 @@ var registry = map[string]modelEntry{
 		build:    percpuServerModelBuild,
 		doc:      "smp guest request plane, exact served accounting; variant=percpu|mutex|racy (racy consumes unpublished slots)",
 	},
+	"qlock-queue": {
+		defaults: map[string]string{"variant": "mcs", "cpus": "2", "iters": "1"},
+		build:    qlockQueueModelBuild,
+		doc:      "smp queue lock FIFO+exactness under forced switches; variant=mcs|rmcs",
+	},
+	"qlock-rec": {
+		defaults: map[string]string{"variant": "rmcs", "cpus": "2", "iters": "1"},
+		build:    qlockRecModelBuild,
+		doc:      "smp queue lock under forced kills with rendezvoused overlap; variant=rmcs|mcs|rmcs-unspliced (mcs wedges, unspliced is the planted repair bug)",
+	},
 }
 
 // Models lists the registered model names, sorted, with one-line docs.

@@ -1,0 +1,126 @@
+package mcheck
+
+import "testing"
+
+// The MCS queue lock at 2 CPUs: bounded-exhaustive over every pair of
+// forced CPU switches. Exactness comes from the counter watchpoint and
+// final count; FIFO comes from comparing the critical-section grant
+// order against the tail-swap admission order recorded by the qtail
+// watchpoint — they must match on every schedule.
+func TestQlockExhaustiveMCS(t *testing.T) {
+	m := build(t, "qlock-queue", map[string]string{"variant": "mcs"})
+	e := &Explorer{Model: m, MaxDecisions: 2}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("%v\nrepro: %s", rep, reproLine(rep))
+	}
+	t.Logf("%v", rep)
+}
+
+// The recoverable variant under the same switch walk: the repair
+// machinery must not disturb FIFO or exactness when nothing dies.
+func TestQlockExhaustiveRMCSSwitches(t *testing.T) {
+	m := build(t, "qlock-queue", map[string]string{"variant": "rmcs"})
+	e := &Explorer{Model: m, MaxDecisions: 2}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("%v\nrepro: %s", rep, reproLine(rep))
+	}
+	t.Logf("%v", rep)
+}
+
+// Recoverable MCS at 2 CPUs with rendezvoused queue overlap, a forced
+// kill at every scheduler-step ordinal: every schedule must stay
+// exact, keep all survivors live, and never wedge.
+func TestQlockExhaustiveRMCSKill(t *testing.T) {
+	m := build(t, "qlock-rec", map[string]string{"variant": "rmcs"})
+	e := &Explorer{Model: m, MaxDecisions: 1}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("%v\nrepro: %s", rep, reproLine(rep))
+	}
+	t.Logf("%v", rep)
+}
+
+// The three-party queue (holder, middle waiter, tail waiter) under a
+// kill at every ordinal: dead-waiter splicing and release-side scans
+// must repair every schedule.
+func TestQlockExhaustiveRMCSKill3(t *testing.T) {
+	m := build(t, "qlock-rec", map[string]string{"variant": "rmcs", "cpus": "3"})
+	e := &Explorer{Model: m, MaxDecisions: 1}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Passed() {
+		t.Fatalf("%v\nrepro: %s", rep, reproLine(rep))
+	}
+	t.Logf("%v", rep)
+}
+
+// The non-recoverable MCS baseline must wedge under some single kill —
+// that wedge is the reason the recoverable variant exists, so the
+// checker finding it is a positive result the suite pins.
+func TestQlockKillWedgesPlainMCS(t *testing.T) {
+	m := build(t, "qlock-rec", map[string]string{"variant": "mcs"})
+	e := &Explorer{Model: m, MaxDecisions: 1}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Counterexample == nil {
+		t.Fatalf("no kill wedges the plain MCS queue? %v", rep)
+	}
+	t.Logf("%v", rep)
+}
+
+// The planted repair bug: the unspliced variant never publishes the
+// pred->next repair and its release waits for the link naively. The
+// checker must catch it within one kill, shrink the schedule to at
+// most 2 decisions, and the serialized .sched must replay the exact
+// violation cold.
+func TestQlockCatchesUnspliced(t *testing.T) {
+	m := build(t, "qlock-rec", map[string]string{"variant": "rmcs-unspliced"})
+	e := &Explorer{Model: m, MaxDecisions: 1}
+	rep, err := e.Exhaustive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cex := rep.Counterexample
+	if cex == nil {
+		t.Fatalf("checker missed the unspliced-successor bug: %v", rep)
+	}
+	if n := len(cex.Schedule.Decisions); n > 2 {
+		t.Errorf("counterexample has %d decisions, want <= 2", n)
+	}
+	// Round-trip through the .sched serialization and replay cold.
+	path := t.TempDir() + "/unspliced.sched"
+	if err := cex.Schedule.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := BuildSchedule(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vio, err := RunOnce(m2, back.Decisions, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vio) == 0 {
+		t.Fatalf("replayed .sched does not reproduce: %v", back.Decisions)
+	}
+	t.Logf("%v\nsched:\n%s", rep, cex.Schedule.Format())
+}

@@ -199,6 +199,31 @@ func Suite() []SuiteEntry {
 			Why: "global-lock baseline at 2 CPUs: slower, but exact under forced preemptions",
 		},
 		{
+			Model: "qlock-queue", Over: map[string]string{"variant": "mcs"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "MCS queue lock at 2 CPUs: FIFO handoff and exactness under forced switches",
+		},
+		{
+			Model: "qlock-rec", Over: map[string]string{"variant": "rmcs"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "recoverable MCS: a kill at every scheduler step of a contended queue is repaired",
+		},
+		{
+			Model: "qlock-rec", Over: map[string]string{"variant": "rmcs", "cpus": "3"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "three-party queue: a dead middle waiter is spliced past on every schedule",
+		},
+		{
+			Model: "qlock-rec", Over: map[string]string{"variant": "mcs"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "plain MCS under a kill wedges the queue — why the recoverable variant exists",
+		},
+		{
+			Model: "qlock-rec", Over: map[string]string{"variant": "rmcs-unspliced"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "planted unspliced-successor repair bug: the checker must catch and shrink it",
+		},
+		{
 			Model: "broken2store", Mode: "random", K: 3, Seed: 0xC0FFEE, Count: 200,
 			Expect: "violation",
 			Why:    "randomized mode finds and shrinks the same defect from a seed",

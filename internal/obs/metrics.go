@@ -73,6 +73,24 @@ func (h *Histogram) Observe(v uint64) {
 	h.counts[len(h.bounds)]++
 }
 
+// ObserveN records n observations of value v in one call — for
+// reconstructing a distribution from pre-bucketed counts, such as a
+// guest-side histogram peeled out of simulated memory.
+func (h *Histogram) ObserveN(v, n uint64) {
+	if n == 0 {
+		return
+	}
+	h.count += n
+	h.sum += v * n
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i] += n
+			return
+		}
+	}
+	h.counts[len(h.bounds)] += n
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 

@@ -1,0 +1,770 @@
+// Package qlock is the queue-lock subsystem: a classic MCS queue lock
+// and a recoverable MCS variant (owner+epoch word, dead-thread queue
+// splicing, abortable TryAcquire) in guest assembly on the SMP vmach,
+// plus the harness that measures remote-memory-reference complexity
+// per lock passage against the spinlock / ll-sc / hybrid baselines.
+//
+// The protocol splits responsibilities the way the RME literature
+// does: the MCS queue (qtail, per-thread qnodes) provides FIFO order
+// and local spinning — O(1) remote references per passage on a
+// cache-coherent machine — while the recoverable variant's qowner
+// word (epoch<<16 | gtid+1) is the single authority on mutual
+// exclusion. Every critical-section entry observes qowner naming
+// itself, established by exactly one of: a CAS from a free owner
+// field, a CAS stealing from a dead owner (epoch bump — a repair), or
+// the releaser's targeted store after a state handshake. Kills are
+// repaired from both sides: a waiter whose predecessor died splices
+// itself to the predecessor's predecessor (prev/next repair, the
+// pmwcas RecoverMutex idiom), and a releaser whose successor never
+// linked scans the qnode array for the orphan and resolves through
+// it. The repair guarantees assume at most one concurrent death
+// (K<=1, the model-checked envelope); mutual exclusion itself holds
+// under any number of kills because it rests on qowner alone.
+package qlock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Variant selects the lock implementation in Program.
+type Variant int
+
+const (
+	// Spin is the test-and-set spinlock baseline: every attempt is a
+	// bus-locked write to the shared word, so its RMR count per
+	// passage grows with the number of spinning CPUs.
+	Spin Variant = iota
+	// LLSC is a load-linked/store-conditional mutex on the shared
+	// word — fewer wasted invalidations than tas, same growth shape.
+	LLSC
+	// Hybrid is the paper's §7 RAS+spinlock: per-CPU claim word
+	// arbitrated by a restartable sequence, global word biased to a
+	// CPU with a bounded batch.
+	Hybrid
+	// MCS is the classic queue lock: tail swap with xchg, local spin
+	// on the qnode's own cache line, targeted handoff. O(1) RMRs per
+	// passage in CC mode.
+	MCS
+	// RMCS is the recoverable MCS variant: qowner owner+epoch word,
+	// liveness-oracle checks, dead-thread queue splicing, abortable
+	// TryAcquire.
+	RMCS
+	// RMCSUnspliced is the planted bug: the waiter-side repair omits
+	// re-linking the predecessor chain (pp->next is never written)
+	// and the release path waits for its next pointer naively instead
+	// of scanning. One kill at the wrong moment wedges the queue —
+	// the mcheck model catches and shrinks it.
+	RMCSUnspliced
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Spin:
+		return "spinlock"
+	case LLSC:
+		return "llsc"
+	case Hybrid:
+		return "hybrid"
+	case MCS:
+		return "mcs"
+	case RMCS:
+		return "rmcs"
+	case RMCSUnspliced:
+		return "rmcs-unspliced"
+	}
+	return "unknown"
+}
+
+// Variants lists the sound lock variants in sweep order.
+func Variants() []Variant { return []Variant{Spin, LLSC, Hybrid, MCS, RMCS} }
+
+// Qnode field offsets, one 64-byte coherence line per thread. The
+// harness pokes GID1, Peer and LatBase before spawning; everything
+// else is guest-written.
+const (
+	QNext     = 0  // successor qnode address, 0 none
+	QPrev     = 4  // predecessor qnode address; Sentinel before the swap lands
+	QLocked   = 8  // 1 while waiting for a targeted handoff
+	QState    = 12 // see QIdle..QGranted
+	QGID1     = 16 // global thread id + 1 (0 = never initialized: dead)
+	QMine     = 20 // passages completed by this thread
+	QRepairs  = 24 // dead-owner steals performed
+	QSplices  = 28 // dead/aborted nodes spliced past
+	QFallback = 32 // falls back to direct qowner competition
+	QAborts   = 36 // TryAcquire aborts
+	QPeer     = 40 // rendezvous peer qnode address (harness-poked)
+	QScans    = 44 // release-side successor scans
+	QLatBase  = 48 // latency bucket array base (harness-poked)
+	QProg     = 52 // 0 start, 1 enqueued, 2 in CS, 3 released
+)
+
+// QState values.
+const (
+	QIdle     = 0 // not in the queue (or retired from it)
+	QEnqueued = 1
+	QAborted  = 2 // departed via TryAcquire; skip and retire on contact
+	QGranted  = 3 // releaser committed a handoff; the node must take it
+)
+
+// Sentinel is the qnode prev value between init and the tail swap: a
+// node whose prev still reads Sentinel died mid-enqueue, and its
+// successor cannot splice — it falls back to the owner word.
+const Sentinel = 1
+
+// Worker flag bits (a2). The upper 16 bits hold the TryAcquire spin
+// bound; 0 means block until acquired.
+const (
+	FlagAudit       = 1 << 0 // keep the enqueue/CS order logs
+	FlagWaitHeld    = 1 << 1 // before acquiring, wait for peer prog >= 2 (or death)
+	FlagHoldForPeer = 1 << 2 // in the CS, wait for peer prog >= 1 (or death)
+	FlagWaitEnq     = 1 << 3 // before acquiring, wait for peer prog >= 1 (or death)
+	FlagHoldAbort   = 1 << 4 // in the CS, wait for the peer to abort or finish (or die)
+)
+
+// LatBuckets is the per-thread latency histogram size: bucket b
+// counts passages whose cycle count has floor(log2) == b.
+const LatBuckets = 32
+
+// Program builds the qlock workload for one variant: `cpus` workers
+// (exactly one per CPU — the spin loops never yield), each entered at
+// symbol "worker" with a0 = iterations, a1 = its qnode address, a2 =
+// flags. Every passage is { SysTime; acquire; counter++; audit;
+// SysTime; bucket } and the final counter must equal the passages
+// completed. logWords sizes the audit order logs (entries, one word
+// each); pass at least cpus*iters when FlagAudit is set.
+func Program(v Variant, cpus, logWords int) string {
+	if cpus < 1 {
+		cpus = 1
+	}
+	if logWords < 16 {
+		logWords = 16
+	}
+	logWords = (logWords + 15) &^ 15 // keep the data regions line-aligned
+
+	var b strings.Builder
+	b.WriteString("\t.text\nworker:                         # a0 = iterations, a1 = qnode, a2 = flags\n")
+	b.WriteString(`	move s0, a0
+	move s1, a1
+	move s3, a2
+	la   s2, counter
+	lw   s6, 16(s1)         # my global tid + 1 (harness-poked)
+	lw   s7, 48(s1)         # my latency bucket base (harness-poked)
+`)
+	switch v {
+	case Spin, LLSC:
+		b.WriteString("\tla   s4, slock\n")
+	case Hybrid:
+		b.WriteString(`	la   s4, slock
+	li   v0, 11             # SysCPU: claim words are one line apart
+	syscall
+	sll  t0, v0, 6
+	la   s5, claim
+	add  s5, s5, t0
+	addi t9, v0, 1          # the gowner bias tag
+	li   t7, 8              # bias bound: passages per batch
+`)
+	case MCS, RMCS, RMCSUnspliced:
+		b.WriteString("\tla   s4, qtail\n\tla   s5, qowner\n")
+	}
+
+	// Rendezvous waits, once per worker: the mcheck models use these
+	// to force queue overlap on every schedule without relying on
+	// forced switch decisions. Each wait escapes if the peer dies.
+	b.WriteString(`	andi t0, s3, 2          # FlagWaitHeld: peer must reach its CS first
+	beq  t0, zero, rdvb
+	lw   t5, 40(s1)
+rdva:
+	lw   t0, 52(t5)
+	sltiu t1, t0, 2
+	beq  t1, zero, rdvb     # peer prog >= 2
+	lw   a0, 16(t5)
+	addi a0, a0, -1
+	li   v0, 12             # SysThreadAliveG
+	syscall
+	bne  v0, zero, rdva
+rdvb:
+	andi t0, s3, 8          # FlagWaitEnq: peer must enqueue first
+	beq  t0, zero, wloop
+	lw   t5, 40(s1)
+rdvc:
+	lw   t0, 52(t5)
+	bne  t0, zero, wloop    # peer prog >= 1
+	lw   a0, 16(t5)
+	addi a0, a0, -1
+	li   v0, 12
+	syscall
+	bne  v0, zero, rdvc
+wloop:
+	li   v0, 6              # SysTime: passage start
+	syscall
+	move t8, v0
+`)
+
+	writeAcquire(&b, v, cpus)
+
+	// The critical section. counter and the order log are only ever
+	// touched while holding the lock, so plain loads and stores
+	// suffice — any torn interleaving here is a mutual exclusion bug
+	// the harness watchpoint reports.
+	b.WriteString(`cs:
+	lw   t1, 0(s2)          # counter++
+	addi t1, t1, 1
+	sw   t1, 0(s2)
+	andi t0, s3, 1          # FlagAudit: log my turn
+	beq  t0, zero, csna
+	la   t2, turnidx
+	lw   t1, 0(t2)
+	la   t3, turns
+	sll  t4, t1, 2
+	add  t3, t3, t4
+	sw   s6, 0(t3)
+	addi t1, t1, 1
+	sw   t1, 0(t2)
+csna:
+	lw   t1, 20(s1)         # mine++
+	addi t1, t1, 1
+	sw   t1, 20(s1)
+	andi t0, s3, 4          # FlagHoldForPeer: stretch the CS until the
+	beq  t0, zero, csnh     # peer has enqueued behind us (or died)
+	lw   t5, 40(s1)
+csh1:
+	lw   t0, 52(t5)
+	bne  t0, zero, csnh
+	lw   a0, 16(t5)
+	addi a0, a0, -1
+	li   v0, 12
+	syscall
+	bne  v0, zero, csh1
+csnh:
+	andi t0, s3, 16         # FlagHoldAbort: stretch the CS until the peer
+	beq  t0, zero, csni     # gives up (TryAcquire abort), finishes or dies
+	lw   t5, 40(s1)
+csi1:
+	lw   t0, 36(t5)         # peer aborts != 0
+	bne  t0, zero, csni
+	lw   t0, 52(t5)         # peer prog >= 3 (completed a passage)
+	sltiu t1, t0, 3
+	beq  t1, zero, csni
+	lw   a0, 16(t5)
+	addi a0, a0, -1
+	li   v0, 12
+	syscall
+	bne  v0, zero, csi1
+csni:
+`)
+
+	writeRelease(&b, v, cpus)
+
+	// Passage latency: floor(log2(cycles)) into my own bucket line.
+	b.WriteString(`pdone:
+	li   v0, 6              # SysTime: passage end
+	syscall
+	sub  t0, v0, t8
+	move t1, zero
+pb1:
+	srl  t0, t0, 1
+	beq  t0, zero, pb2
+	addi t1, t1, 1
+	b    pb1
+pb2:
+	sll  t2, t1, 2
+	add  t2, t2, s7
+	lw   t3, 0(t2)
+	addi t3, t3, 1
+	sw   t3, 0(t2)
+pnext:
+	addi s0, s0, -1
+	bne  s0, zero, wloop
+`)
+	if v == Hybrid {
+		// Exit epilogue: surrender any bias this CPU still holds, so
+		// a finished CPU can never strand the global word.
+		b.WriteString(`hfin:
+	lw   v0, 0(s5)
+	ori  t0, zero, 1
+	bne  v0, zero, hfbz
+	landmark
+	sw   t0, 0(s5)
+	b    hfw
+hfbz:
+	li   v0, 1
+	syscall
+	b    hfin
+hfw:
+	lw   t1, 4(s4)
+	bne  t1, t9, hfr
+	sw   zero, 4(s5)
+	sw   zero, 4(s4)
+	sw   zero, 0(s4)
+hfr:
+	sw   zero, 0(s5)
+`)
+	}
+	b.WriteString("\tli   v0, 0              # SysExit\n\tmove a0, zero\n\tsyscall\n")
+
+	// Data: every contended word gets a coherence line of its own, so
+	// the RMRs a run counts come from the protocol, not false
+	// sharing. slock and gowner share a line deliberately (they are
+	// written together at cross-CPU transfers); each qnode is one
+	// line; latency buckets are two private lines per thread.
+	fmt.Fprintf(&b, `
+	.data
+qtail:   .word 0
+	.space 60
+qowner:  .word 0
+	.space 60
+slock:   .word 0
+gowner:  .word 0
+	.space 56
+counter: .word 0
+	.space 60
+enqseq:  .word 0
+	.space 60
+turnidx: .word 0
+	.space 60
+turns:   .space %d
+enqlog:  .space %d
+claim:   .space %d
+lats:    .space %d
+qnodes:  .space %d
+`, 4*logWords, 4*logWords, 64*cpus, 4*LatBuckets*cpus, 64*cpus)
+	return b.String()
+}
+
+// writeAcquire emits the acquire path; it falls through into "cs"
+// with the lock held, or branches to "pnext" on a TryAcquire abort.
+func writeAcquire(b *strings.Builder, v Variant, cpus int) {
+	switch v {
+	case Spin:
+		b.WriteString(`	li   t1, 1
+	sw   t1, 52(s1)         # prog = 1 (arriving)
+sacq:
+	tas  t0, 0(s4)          # every attempt is a bus-locked remote write
+	beq  t0, zero, sgot
+	b    sacq
+sgot:
+	li   t1, 2
+	sw   t1, 52(s1)         # prog = 2 (in CS)
+`)
+	case LLSC:
+		b.WriteString(`	li   t1, 1
+	sw   t1, 52(s1)
+lacq:
+	ll   t0, 0(s4)
+	bne  t0, zero, lacq
+	li   t1, 1
+	sc   t1, 0(s4)          # any intervening write or switch fails it
+	beq  t1, zero, lacq
+	li   t1, 2
+	sw   t1, 52(s1)
+`)
+	case Hybrid:
+		b.WriteString(`	li   t1, 1
+	sw   t1, 52(s1)
+hacq:
+	lw   v0, 0(s5)          # intra-CPU arbitration: the designated RAS
+	ori  t0, zero, 1        # test-and-set on this CPU's claim word
+	bne  v0, zero, hbusy
+	landmark
+	sw   t0, 0(s5)
+	b    hwon
+hbusy:
+	li   v0, 1              # SysYield while a sibling holds the claim
+	syscall
+	b    hacq
+hwon:
+	lw   t1, 4(s4)          # global word already biased to this CPU?
+	beq  t1, t9, hgot       # yes: no interlocked op, no remote line
+gacq:
+	lw   t0, 0(s4)          # test-and-test-and-set on the shared word
+	bne  t0, zero, gacq
+	tas  t0, 0(s4)
+	bne  t0, zero, gacq
+	sw   t9, 4(s4)          # bias it here
+hgot:
+	li   t1, 2
+	sw   t1, 52(s1)
+`)
+	case MCS:
+		b.WriteString(`macq:
+	sw   zero, 0(s1)        # next = 0
+	li   t0, 1
+	sw   t0, 8(s1)          # locked = 1
+	sw   t0, 12(s1)         # state = enqueued
+	sw   t0, 52(s1)         # prog = 1
+`)
+		writeEnqAudit(b)
+		b.WriteString(`	move t5, s1
+	xchg t5, 0(s4)          # t5 = predecessor; qtail = my node
+	sw   t5, 4(s1)          # prev = predecessor (diagnostic for MCS)
+	beq  t5, zero, mgot     # empty queue: the lock is mine
+	sw   s1, 0(t5)          # pred->next = my node
+mspin:
+	lw   t1, 8(s1)          # local spin: my own cache line
+	bne  t1, zero, mspin
+mgot:
+	li   t1, 2
+	sw   t1, 52(s1)
+`)
+	case RMCS, RMCSUnspliced:
+		writeRMCSAcquire(b, v == RMCSUnspliced)
+	}
+}
+
+// writeEnqAudit emits the FlagAudit enqueue-order log: an atomic
+// fetch-and-add ticket, then the thread id into that slot. A thread
+// killed between the two leaves a zero hole the audit skips.
+func writeEnqAudit(b *strings.Builder) {
+	b.WriteString(`	andi t0, s3, 1
+	beq  t0, zero, qnoe
+	la   t2, enqseq
+	faa  t1, 0(t2)          # t1 = my ticket; the slot is atomically mine
+	la   t3, enqlog
+	sll  t4, t1, 2
+	add  t3, t3, t4
+	sw   s6, 0(t3)
+qnoe:
+`)
+}
+
+func writeRMCSAcquire(b *strings.Builder, planted bool) {
+	b.WriteString(`racq:
+	srl  t9, s3, 16         # TryAcquire spin bound (0 = block)
+	bne  t9, zero, rbs
+	lui  t9, 0x7FFF         # effectively unbounded within the cycle budget
+rbs:
+	sw   zero, 0(s1)        # next = 0
+	li   t0, 1
+	sw   t0, 4(s1)          # prev = Sentinel until the swap lands
+	sw   t0, 8(s1)          # locked = 1
+	sw   t0, 12(s1)         # state = enqueued
+	sw   t0, 52(s1)         # prog = 1
+`)
+	writeEnqAudit(b)
+	b.WriteString(`	move t5, s1
+	xchg t5, 0(s4)          # t5 = predecessor; qtail = my node
+	sw   t5, 4(s1)          # prev = predecessor (0 = I head the queue)
+	beq  t5, zero, rclaim
+	sw   s1, 0(t5)          # pred->next = me: the O(1) handoff path; a
+rspin:                      # stale landing on a recycled node is erased
+                            # by that node's next enqueue init
+	li   t6, 16             # fast polls between the expensive checks
+rsp1:
+	lw   t1, 8(s1)          # local spin on my own line
+	beq  t1, zero, rgrant
+	addi t6, t6, -1
+	bne  t6, zero, rsp1
+	addi t9, t9, -1         # TryAcquire budget
+	beq  t9, zero, rabw
+	lw   t1, 0(s5)          # did a dying releaser hand to me already?
+	andi t2, t1, 0xFFFF
+	beq  t2, s6, rgot
+	lw   t1, 12(t5)         # predecessor aborted or retired?
+	li   t2, 2
+	beq  t1, t2, rsplice
+	beq  t1, zero, rsplice
+	lw   a0, 16(t5)         # predecessor still alive?
+	addi a0, a0, -1
+	li   v0, 12             # SysThreadAliveG
+	syscall
+	bne  v0, zero, rspin
+rsplice:                    # predecessor dead/aborted/retired: repair.
+	lw   t1, 8(s1)          # but first: was I handed the lock during the
+	beq  t1, zero, rgrant   # window (pred released-to-me then retired)?
+	lw   t1, 0(s5)
+	andi t2, t1, 0xFFFF
+	beq  t2, s6, rgot
+	lw   t7, 4(t5)          # pp = pred->prev
+	li   t2, 1
+	beq  t7, t2, rfall      # pp == Sentinel: pred died mid-swap; fall back
+	bne  t7, s1, rspl2      # pp == my own node: a stale backlink from a past
+	sw   zero, 12(t5)       # passage of mine — retire the dead node and fall
+	b    rfall              # back rather than splice into a self-loop
+rspl2:
+	sw   t7, 4(s1)          # my.prev = pp  (the snippet-2 prev repair)
+	sw   zero, 12(t5)       # retire the dead node
+	lw   t1, 28(s1)         # splices++
+	addi t1, t1, 1
+	sw   t1, 28(s1)
+	beq  t7, zero, rclaim   # pp == 0: I head the queue now
+`)
+	if planted {
+		b.WriteString(`	move t5, t7             # BUG: pp->next is never re-linked, so the
+	b    rspin              # predecessor's release waits for it forever
+`)
+	} else {
+		b.WriteString(`	sw   s1, 0(t7)          # pp->next = my node (the next repair)
+	move t5, t7
+	b    rspin
+`)
+	}
+	b.WriteString(`rgrant:
+	lw   t1, 0(s5)          # locked==0 must mean qowner names me; a stale
+	andi t2, t1, 0xFFFF     # store from a previous passage's releaser is
+	bne  t2, s6, rspin      # a spurious wake — keep spinning
+	b    rgot
+rfall:
+	lw   t1, 32(s1)         # fallbacks++
+	addi t1, t1, 1
+	sw   t1, 32(s1)
+rclaim:                     # compete on the owner word directly
+	addi t9, t9, -1         # TryAcquire budget
+	beq  t9, zero, rabc
+	lw   t1, 0(s5)
+	andi t2, t1, 0xFFFF
+	beq  t2, zero, rctry    # free: CAS it to me
+	beq  t2, s6, rgot       # a handoff raced my claim: it is mine
+	addi a0, t2, -1
+	li   v0, 12             # owner alive?
+	syscall
+	bne  v0, zero, rclaim   # yes: it will hand off or clear
+	lw   t1, 0(s5)          # dead owner: steal with an epoch bump
+	srl  t3, t1, 16
+	addi t3, t3, 1
+	sll  t3, t3, 16
+	or   t3, t3, s6
+	ll   t2, 0(s5)
+	bne  t2, t1, rclaim     # the word moved: re-decide
+	move t4, t3
+	sc   t4, 0(s5)
+	beq  t4, zero, rclaim
+	lw   t1, 24(s1)         # repairs++
+	addi t1, t1, 1
+	sw   t1, 24(s1)
+	b    rgot
+rctry:
+	srl  t3, t1, 16
+	sll  t3, t3, 16
+	or   t3, t3, s6         # same epoch, owner = me
+	ll   t2, 0(s5)
+	bne  t2, t1, rclaim
+	move t4, t3
+	sc   t4, 0(s5)
+	beq  t4, zero, rclaim
+	b    rgot
+rabw:                       # TryAcquire timeout while queued behind t5
+	lw   t3, 4(s1)
+	li   t2, 1
+	bne  t3, t2, raw1
+	move t3, zero
+raw1:
+	ll   t1, 0(s4)          # self-dequeue only works from the tail
+	bne  t1, s1, rawno
+	move t2, t3
+	sc   t2, 0(s4)          # qtail = my prev
+	beq  t2, zero, rabw
+	b    rabcas
+rawno:
+	lui  t9, 0x7FFF         # a successor exists: abort impossible, block
+	b    rspin
+rabc:                       # TryAcquire timeout while competing for qowner
+	lw   t3, 4(s1)
+	li   t2, 1
+	bne  t3, t2, rac1
+	move t3, zero
+rac1:
+	ll   t1, 0(s4)
+	bne  t1, s1, racno
+	move t2, t3
+	sc   t2, 0(s4)
+	beq  t2, zero, rabc
+	b    rabcas
+racno:
+	lui  t9, 0x7FFF
+	b    rclaim
+rabcas:                     # dequeued; commit the abort unless granted
+	li   t1, 1
+	ll   t4, 12(s1)
+	bne  t4, t1, rabg       # state != enqueued: a handoff beat me
+	li   t2, 2
+	sc   t2, 12(s1)         # state = aborted
+	beq  t2, zero, rabcas
+	lw   t1, 36(s1)         # aborts++
+	addi t1, t1, 1
+	sw   t1, 36(s1)
+	b    pnext              # skip the CS; the passage did not happen
+rabg:
+	lui  t9, 0x7FFF         # granted mid-abort: the lock is coming; take it
+	b    rclaim
+rgot:
+	li   t1, 2
+	sw   t1, 52(s1)         # prog = 2 (in CS)
+`)
+}
+
+// writeRelease emits the release path, falling through into "pdone".
+func writeRelease(b *strings.Builder, v Variant, cpus int) {
+	switch v {
+	case Spin, LLSC:
+		b.WriteString("\tsw   zero, 0(s4)        # release: a single atomic word store\n\tli   t1, 3\n\tsw   t1, 52(s1)\n")
+	case Hybrid:
+		b.WriteString(`	lw   t1, 4(s5)          # bump the batch counter
+	addi t1, t1, 1
+	beq  t1, t7, hunb       # batch exhausted: re-arbitrate globally
+	sw   t1, 4(s5)
+	b    hrel
+hunb:
+	sw   zero, 4(s5)        # reset the batch...
+	sw   zero, 4(s4)        # ...clear the owning CPU...
+	sw   zero, 0(s4)        # ...and release the shared word
+hrel:
+	sw   zero, 0(s5)        # hand off: release the claim only
+	li   t1, 3
+	sw   t1, 52(s1)
+`)
+	case MCS:
+		b.WriteString(`	lw   t5, 0(s1)          # published successor?
+	bne  t5, zero, mhand
+mrelc:
+	ll   t1, 0(s4)
+	bne  t1, s1, mwtn       # tail moved: a successor is arriving
+	move t2, zero
+	sc   t2, 0(s4)          # qtail = 0: queue emptied
+	bne  t2, zero, mrdone
+	b    mrelc
+mwtn:
+	lw   t5, 0(s1)          # it will publish next in a bounded number
+	beq  t5, zero, mwtn     # of its instructions (no kills in MCS)
+mhand:
+	sw   zero, 8(t5)        # targeted handoff: succ->locked = 0
+mrdone:
+	sw   zero, 12(s1)       # retire my node
+	li   t1, 3
+	sw   t1, 52(s1)
+`)
+	case RMCS, RMCSUnspliced:
+		writeRMCSRelease(b, v == RMCSUnspliced, cpus)
+	}
+}
+
+func writeRMCSRelease(b *strings.Builder, planted bool, cpus int) {
+	b.WriteString(`	li   t9, 64             # successor-scan pass budget
+	lw   t5, 0(s1)          # published successor?
+	bne  t5, zero, rres
+rrelc:
+	ll   t1, 0(s4)
+	bne  t1, s1, rstuck     # tail moved: someone is (or was) behind me
+	move t2, zero
+	sc   t2, 0(s4)          # qtail = 0: queue emptied
+	beq  t2, zero, rrelc
+	lw   t1, 0(s5)          # clear the owner field, keep the epoch
+	srl  t1, t1, 16
+	sll  t1, t1, 16
+	sw   t1, 0(s5)
+	b    rretire
+rstuck:
+	lw   t1, 44(s1)         # scans++
+	addi t1, t1, 1
+	sw   t1, 44(s1)
+	lw   t5, 0(s1)          # it may have linked meanwhile
+	bne  t5, zero, rres
+`)
+	if planted {
+		b.WriteString(`rwnaiv:
+	lw   t5, 0(s1)          # BUG: wait for the link naively; a successor
+	beq  t5, zero, rwnaiv   # that died (or spliced) never publishes it
+	b    rres
+`)
+	} else {
+		fmt.Fprintf(b, `	la   t6, qnodes         # scan for my successor: a queued node whose
+	li   t7, %d
+rsc1:
+	beq  t6, s1, rsc2       # (skip my own node)
+	lw   t1, 12(t6)
+	li   t2, 1
+	bne  t1, t2, rsc2       # only enqueued nodes count
+	lw   t1, 4(t6)
+	beq  t1, s1, rsfnd      # prev is me: my successor
+	bne  t1, t2, rsc2       # prev != Sentinel: linked elsewhere
+	lw   a0, 16(t6)         # orphan: enqueued, prev unset — mine iff its
+	addi a0, a0, -1         # enqueuer died mid-swap (unique at K<=1)
+	li   v0, 12
+	syscall
+	beq  v0, zero, rsfnd
+rsc2:
+	addi t6, t6, 64
+	addi t7, t7, -1
+	bne  t7, zero, rsc1
+	addi t9, t9, -1         # nothing yet: retry the empty-queue exit, but
+	bne  t9, zero, rrelc    # only so many times — a waiter that fell back
+	lw   t1, 0(s5)          # to the owner word may never identify itself,
+	srl  t1, t1, 16         # so relinquish: clear the owner, keep the
+	sll  t1, t1, 16         # epoch, and let the fallback path claim it
+	sw   t1, 0(s5)
+	b    rretire
+rsfnd:
+	move t5, t6
+`, cpus)
+	}
+	fmt.Fprintf(b, `rres:                       # resolve the candidate chain at t5
+	lw   t1, 12(t5)
+	li   t2, 1
+	bne  t1, t2, rskip      # not enqueued (retired/aborted): splice past
+	lw   a0, 16(t5)
+	addi a0, a0, -1
+	li   v0, 12             # candidate alive?
+	syscall
+	bne  v0, zero, rlive
+rskip:
+	sw   zero, 12(t5)       # retire it
+	lw   t1, 28(s1)         # splices++
+	addi t1, t1, 1
+	sw   t1, 28(s1)
+rchain:
+	lw   t6, 0(t5)          # follow its published next...
+	bne  t6, zero, rcadv
+	la   t6, qnodes         # ...or scan for the node that named it prev
+	li   t7, %d
+rch1:
+	beq  t6, s1, rch2       # (never chain back into my own node)
+	lw   t1, 12(t6)
+	li   t2, 1
+	bne  t1, t2, rch2
+	lw   t1, 4(t6)
+	beq  t1, t5, rcadv2
+rch2:
+	addi t6, t6, 64
+	addi t7, t7, -1
+	bne  t7, zero, rch1
+	ll   t1, 0(s4)          # nothing follows the chain end: where is the tail?
+	beq  t1, t5, rcemp      # at the dead chain end: empty the queue from it
+	bne  t1, s1, rstuck     # elsewhere: the world moved, rescan
+	sw   zero, 0(s1)        # back at my own node (successors all aborted):
+	b    rrelc              # forget the stale link and exit empty
+rcemp:
+	move t2, zero
+	sc   t2, 0(s4)
+	beq  t2, zero, rchain
+	lw   t1, 0(s5)
+	srl  t1, t1, 16
+	sll  t1, t1, 16
+	sw   t1, 0(s5)
+	b    rretire
+rcadv2:
+	move t5, t6
+	b    rres
+rcadv:
+	move t5, t6
+	b    rres
+rlive:
+	li   t1, 1              # handshake: state enqueued -> granted, so an
+	ll   t2, 12(t5)         # aborting successor cannot depart after we
+	bne  t2, t1, rskip      # commit to it
+	li   t3, 3
+	sc   t3, 12(t5)
+	beq  t3, zero, rlive
+	lw   t3, 16(t5)         # publish ownership: owner = succ, same epoch
+	lw   t1, 0(s5)
+	srl  t2, t1, 16
+	sll  t2, t2, 16
+	or   t2, t2, t3
+	sw   t2, 0(s5)          # plain store: only the live owner writes here
+	sw   zero, 8(t5)        # wake the local spin
+rretire:
+	sw   zero, 4(s1)        # zero prev first: a successor that walks my
+	sw   zero, 12(s1)       # retired node must fall into owner competition,
+	li   t1, 3              # not follow a stale backlink
+	sw   t1, 52(s1)         # prog = 3
+`, cpus)
+}

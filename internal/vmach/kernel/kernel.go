@@ -56,6 +56,13 @@ const (
 	// (paper §7) indexes its per-CPU claim word with this. Threads never
 	// migrate between CPUs, so the answer is stable for a thread's life.
 	SysCPU = 11 // v0 = CPU number (0 on a uniprocessor)
+
+	// Cross-CPU liveness: like SysThreadAlive but a0 is a *global*
+	// thread id (cpu*stride + local id, the smp.GlobalID encoding). A
+	// queue lock's qnodes name threads on other CPUs; repairing a
+	// queue after a death needs an oracle that can answer for them.
+	// On a standalone kernel global and local ids coincide.
+	SysThreadAliveG = 12 // a0 = global tid; v0 = 1 if alive, else 0
 )
 
 // Mutex word values for the Taos-style designated mutex.
@@ -234,6 +241,12 @@ type Kernel struct {
 	Stats   Stats
 	Console []isa.Word
 
+	// PeerAlive, when non-nil, answers SysThreadAliveG for global
+	// thread ids that may live on other CPUs. The SMP system installs
+	// one per kernel; standalone kernels leave it nil and fall back to
+	// the local thread table (global == local on one CPU).
+	PeerAlive func(gtid int) bool
+
 	// Tracer, when non-nil, receives kernel events (dispatches,
 	// preemptions, restarts, syscalls, faults).
 	Tracer Tracer
@@ -309,6 +322,20 @@ func (k *Kernel) SpawnAS(as int, entry, stackTop uint32, args ...isa.Word) *Thre
 
 // Threads returns all threads ever spawned.
 func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// ThreadAlive reports whether the thread with the given local id can
+// still run — the same answer SysThreadAlive gives the guest. Unknown
+// ids are dead.
+func (k *Kernel) ThreadAlive(id int) bool {
+	if id < 0 || id >= len(k.threads) {
+		return false
+	}
+	switch k.threads[id].State {
+	case StateDone, StateFaulted, StateKilled:
+		return false
+	}
+	return true
+}
 
 // ErrBudget is returned when a run exceeds its cycle budget.
 var ErrBudget = errors.New("kernel: cycle budget exceeded")
@@ -928,12 +955,22 @@ func (k *Kernel) syscall(ev vmach.Event) {
 		// the named thread still able to run? Out-of-range IDs are dead —
 		// a lock word naming no thread is orphaned.
 		alive := isa.Word(0)
-		if tid := int(int32(a0)); tid >= 0 && tid < len(k.threads) {
-			switch k.threads[tid].State {
-			case StateDone, StateFaulted, StateKilled:
-			default:
+		if k.ThreadAlive(int(int32(a0))) {
+			alive = 1
+		}
+		t.Ctx.Regs[isa.RegV0] = alive
+
+	case SysThreadAliveG:
+		// Cross-CPU liveness oracle. Defer to the SMP complex when
+		// attached; otherwise global ids are local ids.
+		alive := isa.Word(0)
+		gtid := int(int32(a0))
+		if k.PeerAlive != nil {
+			if gtid >= 0 && k.PeerAlive(gtid) {
 				alive = 1
 			}
+		} else if gtid >= 0 && gtid < len(k.threads) && k.ThreadAlive(gtid) {
+			alive = 1
 		}
 		t.Ctx.Regs[isa.RegV0] = alive
 

@@ -89,6 +89,7 @@ func Restore(cfg Config, snap *Snapshot) (*System, error) {
 			return nil, fmt.Errorf("smp: cpu%d: %w", i, err)
 		}
 		k.M.Coherence = s.Coh.attach(k.M)
+		k.PeerAlive = s.ThreadAliveG
 		s.CPUs = append(s.CPUs, k)
 	}
 	// The per-CPU restores each wiped the shared memory with their empty

@@ -107,9 +107,24 @@ func New(cfg Config) *System {
 		}
 		k := kernel.New(kcfg)
 		k.M.Coherence = s.Coh.attach(k.M)
+		k.PeerAlive = s.ThreadAliveG
 		s.CPUs = append(s.CPUs, k)
 	}
 	return s
+}
+
+// ThreadAliveG answers liveness for a global thread id (GlobalID
+// encoding) across every CPU of the complex — the SysThreadAliveG
+// oracle. Ids naming no CPU or no thread are dead.
+func (s *System) ThreadAliveG(gtid int) bool {
+	if gtid < 0 {
+		return false
+	}
+	cpu, local := gtid/ThreadStride, gtid%ThreadStride
+	if cpu >= len(s.CPUs) {
+		return false
+	}
+	return s.CPUs[cpu].ThreadAlive(local)
 }
 
 // Load copies an assembled program into the shared memory (once: every
