@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench tables chaos recovery smp persist journal server rmr examples check fuzz fmt lint vet clean tier1
+.PHONY: all build test race cover bench tables chaos recovery smp persist journal server rmr resilience examples check fuzz fmt lint vet clean tier1
 
 all: build vet test
 
@@ -74,6 +74,14 @@ rmr:
 	$(GO) run ./cmd/rasbench -table rmr
 	$(GO) test -run 'Qlock|KillSweep|KillWaiter|CrashRestore' ./internal/qlock/ ./internal/mcheck/
 
+# Crash-restart supervision (E27): the seeded 1000-crash vmach campaign,
+# the uniproc exactly-once server campaign, the forced demotion cycle,
+# and the supervisor-in-the-loop mcheck walks; the resilience package's
+# own sweeps run alongside.
+resilience:
+	$(GO) run ./cmd/rasbench -table resilience
+	$(GO) test -run 'Resilience|Supervise|ServerWorld|VMWorld' ./internal/resilience/ ./internal/mcheck/ ./internal/uxserver/
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/mechanisms
@@ -97,6 +105,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRecognizer -fuzztime=30s ./internal/vmach/kernel/
 	$(GO) test -fuzz=FuzzCheckpoint -fuzztime=30s ./internal/vmach/kernel/
 	$(GO) test -fuzz=FuzzSMPCheckpoint -fuzztime=30s ./internal/vmach/smp/
+	$(GO) test -fuzz=FuzzChaosPlan -fuzztime=30s ./internal/chaos/
 
 fmt:
 	gofmt -w .

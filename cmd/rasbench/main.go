@@ -24,7 +24,12 @@
 // replayed requests on the SMP guest and the uniprocessor uxserver;
 // -cpus picks both the CPU and shard counts), rmr (queue locks: remote
 // memory references per passage across CPU counts and coherence modes,
-// with the recoverable-MCS kill section; -cpus picks the counts).
+// with the recoverable-MCS kill section; -cpus picks the counts),
+// resilience (crash-restart supervision: the seeded 1000-crash vmach
+// campaign, the uniproc exactly-once server campaign with retrying
+// clients, the forced demotion/re-promotion cycle, and the exhaustive
+// supervisor-in-the-loop model walk; campaign rows print one-line
+// crashplan reproducers replayable with rasvm -demo resilience -plan).
 //
 // `rasbench -list` prints every table with its description and exits.
 package main
@@ -58,7 +63,7 @@ type benchOpts struct {
 
 func main() {
 	var o benchOpts
-	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,journal,smp,server,rmr,all")
+	flag.StringVar(&o.table, "table", "all", "which table to run: 1,2,3,4,i860,lamport,holdups,ablation,wbuf,ranges,quantum,workers,chaos,recovery,persist,journal,smp,server,rmr,resilience,all")
 	flag.IntVar(&o.iters, "iters", 20000, "microbenchmark loop iterations")
 	flag.IntVar(&o.scale, "scale", 1, "table 3 workload multiplier")
 	flag.Uint64Var(&o.seed, "seed", 0, "chaos master seed (0 = default); use with -level to replay a failure")
@@ -87,17 +92,18 @@ func run(table string, iters, scale int, seed uint64, level float64, timeout uin
 // tableResult is one -json record: the aggregate substrate counters behind
 // one regenerated table.
 type tableResult struct {
-	Name        string             `json:"name"`
-	Runs        int                `json:"runs"`
-	Cycles      uint64             `json:"cycles"`
-	Restarts    uint64             `json:"restarts"`
-	Preemptions uint64             `json:"preemptions"`
-	Traps       uint64             `json:"traps"`
-	SMP         []bench.SMPRow     `json:"smp,omitempty"`     // row-level detail for -table smp
-	Persist     []bench.PersistRow `json:"persist,omitempty"` // row-level detail for -table persist
-	Journal     []bench.JournalRow `json:"journal,omitempty"` // row-level detail for -table journal
-	Server      []bench.ServerRow  `json:"server,omitempty"`  // row-level detail for -table server
-	RMR         []bench.RMRRow     `json:"rmr,omitempty"`     // row-level detail for -table rmr
+	Name        string                `json:"name"`
+	Runs        int                   `json:"runs"`
+	Cycles      uint64                `json:"cycles"`
+	Restarts    uint64                `json:"restarts"`
+	Preemptions uint64                `json:"preemptions"`
+	Traps       uint64                `json:"traps"`
+	SMP         []bench.SMPRow        `json:"smp,omitempty"`        // row-level detail for -table smp
+	Persist     []bench.PersistRow    `json:"persist,omitempty"`    // row-level detail for -table persist
+	Journal     []bench.JournalRow    `json:"journal,omitempty"`    // row-level detail for -table journal
+	Server      []bench.ServerRow     `json:"server,omitempty"`     // row-level detail for -table server
+	RMR         []bench.RMRRow        `json:"rmr,omitempty"`        // row-level detail for -table rmr
+	Resilience  []bench.ResilienceRow `json:"resilience,omitempty"` // row-level detail for -table resilience
 }
 
 // parseCPUList turns "-cpus 1,2,4" into []int{1, 2, 4}.
@@ -139,11 +145,12 @@ func runOpts(o benchOpts) error {
 	}
 
 	var results []tableResult
-	var smpRows []bench.SMPRow         // row-level detail captured by the smp step
-	var persistRows []bench.PersistRow // row-level detail captured by the persist step
-	var journalRows []bench.JournalRow // row-level detail captured by the journal step
-	var serverRows []bench.ServerRow   // row-level detail captured by the server step
-	var rmrRows []bench.RMRRow         // row-level detail captured by the rmr step
+	var smpRows []bench.SMPRow               // row-level detail captured by the smp step
+	var persistRows []bench.PersistRow       // row-level detail captured by the persist step
+	var journalRows []bench.JournalRow       // row-level detail captured by the journal step
+	var serverRows []bench.ServerRow         // row-level detail captured by the server step
+	var rmrRows []bench.RMRRow               // row-level detail captured by the rmr step
+	var resilienceRows []bench.ResilienceRow // row-level detail captured by the resilience step
 	runTable := func(name, title string, fn func() (string, error)) error {
 		if !all && o.table != name {
 			return nil
@@ -161,7 +168,7 @@ func runOpts(o benchOpts) error {
 			Cycles: rs.Cycles, Restarts: rs.Restarts,
 			Preemptions: rs.Preemptions, Traps: rs.EmulTraps,
 			SMP: smpRows, Persist: persistRows, Journal: journalRows,
-			Server: serverRows, RMR: rmrRows})
+			Server: serverRows, RMR: rmrRows, Resilience: resilienceRows})
 		return nil
 	}
 
@@ -373,6 +380,19 @@ func runOpts(o benchOpts) error {
 			}
 			rmrRows = rows
 			return bench.FormatRMR(rows), nil
+		}},
+		{"resilience", "Resilience sweep: crash-restart supervision, exactly-once server, degraded cycle (E27)", func() (string, error) {
+			cfg := bench.DefaultResilienceConfig()
+			if o.seed != 0 {
+				cfg.Seed = o.seed
+			}
+			cfg.MaxCycles = o.timeout
+			rows, err := bench.TableResilience(cfg)
+			if err != nil {
+				return "", err
+			}
+			resilienceRows = rows
+			return bench.FormatResilience(rows), nil
 		}},
 	}
 

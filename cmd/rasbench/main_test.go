@@ -54,6 +54,12 @@ func TestRunSMPBadCPUList(t *testing.T) {
 	}
 }
 
+func TestRunResilience(t *testing.T) {
+	if err := run("resilience", 0, 1, 0, 0, 0); err != nil {
+		t.Errorf("table resilience: %v", err)
+	}
+}
+
 func TestRunUnknownTable(t *testing.T) {
 	if err := run("nonesuch", 100, 1, 0, 0, 0); err == nil {
 		t.Error("unknown table accepted")

@@ -28,6 +28,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/mcheck"
 	"repro/internal/obs"
@@ -218,10 +219,40 @@ func reproCommand(c *config, rep *mcheck.Report) string {
 	return cmd
 }
 
+// suiteTally accumulates one model's share of the suite, for the
+// per-model summary table printed after the run.
+type suiteTally struct {
+	entries    int
+	schedules  int
+	states     int
+	pruned     int
+	violations int
+	wall       time.Duration
+}
+
 func runSuite(c *config, out, errw io.Writer) int {
 	failures := 0
+	tallies := map[string]*suiteTally{}
+	var order []string
 	for _, ent := range mcheck.Suite() {
+		start := time.Now()
 		res := mcheck.RunEntry(ent, mcheck.Options{})
+		tl := tallies[ent.Model]
+		if tl == nil {
+			tl = &suiteTally{}
+			tallies[ent.Model] = tl
+			order = append(order, ent.Model)
+		}
+		tl.entries++
+		tl.wall += time.Since(start)
+		if res.Report != nil {
+			tl.schedules += res.Report.Schedules
+			tl.states += res.Report.States
+			tl.pruned += res.Report.Pruned
+			if res.Report.Counterexample != nil {
+				tl.violations++
+			}
+		}
 		status := "ok  "
 		switch {
 		case res.Err != nil:
@@ -248,6 +279,25 @@ func runSuite(c *config, out, errw io.Writer) int {
 			}
 		}
 	}
+	// Per-model summary: how much schedule space each model's entries
+	// cover and what it costs, so suite growth stays visible in CI logs.
+	fmt.Fprintf(out, "\n%-16s %7s %10s %8s %8s %10s %10s\n",
+		"model", "entries", "schedules", "states", "pruned", "violations", "wall")
+	var totEnt, totSched, totPruned int
+	var totWall time.Duration
+	for _, name := range order {
+		tl := tallies[name]
+		fmt.Fprintf(out, "%-16s %7d %10d %8d %8d %10d %10s\n",
+			name, tl.entries, tl.schedules, tl.states, tl.pruned, tl.violations,
+			tl.wall.Round(time.Millisecond))
+		totEnt += tl.entries
+		totSched += tl.schedules
+		totPruned += tl.pruned
+		totWall += tl.wall
+	}
+	fmt.Fprintf(out, "%-16s %7d %10d %8s %8d %10s %10s\n",
+		"total", totEnt, totSched, "", totPruned, "", totWall.Round(time.Millisecond))
+
 	if failures > 0 {
 		fmt.Fprintf(errw, "rascheck: %d suite entries failed\n", failures)
 		return 1

@@ -44,6 +44,9 @@
 //	rasvm -demo server -cpus 2 -variant mutex        # global-queue baseline
 //	rasvm -demo qlock -lock mcs -cpus 8              # MCS: O(1) RMR/passage
 //	rasvm -demo qlock -lock rmcs -cpus 2 -kill-at 300  # dead-owner repair
+//	rasvm -demo resilience -plan 'crashplan:seed=0x1,point=step,span=230,crashes=1000,mix=1:2:1'
+//	                                                 # supervised crash-restart
+//	                                                 # campaign (TableResilience repro)
 //
 // Fault and recovery flags: -kill-at injects thread kills at the given
 // retired-instruction steps; -crash-at injects a whole-machine crash.
@@ -95,11 +98,13 @@ type options struct {
 	variant                 string // -demo server: request-plane variant
 	killCPU                 int    // -demo smp: CPU whose running thread -kill-at kills
 	smpMode                 string // -demo qlock: RMR counting mode, cc or dsm
+	plan                    string // -demo resilience: one-line crash plan
 	args                    []string
+	setFlags                map[string]bool // flags the user set explicitly
 }
 
 // demos lists the built-in workloads -demo accepts.
-var demos = []string{"counter", "recoverable", "persistent", "journal", "smp", "server", "qlock"}
+var demos = []string{"counter", "recoverable", "persistent", "journal", "smp", "server", "qlock", "resilience"}
 
 func main() {
 	var o options
@@ -133,8 +138,11 @@ func main() {
 	flag.StringVar(&o.variant, "variant", "percpu", "-demo server: request plane: percpu, mutex, racy")
 	flag.IntVar(&o.killCPU, "kill-cpu", 0, "-demo smp: CPU whose running thread -kill-at kills")
 	flag.StringVar(&o.smpMode, "mode", "cc", "-demo qlock: RMR counting mode: cc (cache-coherent) or dsm (distributed shared memory)")
+	flag.StringVar(&o.plan, "plan", "", "-demo resilience: one-line crash plan (crashplan:seed=...,point=...,span=...,crashes=...,mix=c:v:t); empty derives a default campaign")
 	flag.Parse()
 	o.args = flag.Args()
+	o.setFlags = map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { o.setFlags[f.Name] = true })
 
 	if *list {
 		for _, n := range arch.Names() {
@@ -163,6 +171,9 @@ func run(o options) error {
 	}
 	if o.demo == "persistent" {
 		return runPersistent(o)
+	}
+	if o.demo == "resilience" {
+		return runResilience(o)
 	}
 	if o.demo == "journal" {
 		return runJournal(o)

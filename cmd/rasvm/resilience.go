@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/chaos"
+	"repro/internal/resilience"
+)
+
+// runResilience replays a supervised crash-restart campaign from a
+// one-line crash plan — the exact reproducer TableResilience prints for
+// its campaign rows. The plan's ordinal space picks the substrate: step
+// plans drive the ISA-level resilient-server guest (VMWorld), persist
+// and memop plans drive the uniproc uxserver plane (ServerWorld). With
+// no -plan, a default 100-crash mixed campaign is derived from a clean
+// calibration run.
+func runResilience(o options) error {
+	var plan *chaos.CrashPlan
+	if o.plan != "" {
+		p, err := chaos.ParseCrashPlan(o.plan)
+		if err != nil {
+			return err
+		}
+		plan = p
+	}
+
+	// Unless overridden, the workload and supervisor config match
+	// bench.TableResilience so the repro lines it prints replay the
+	// table's own campaigns (the generic 4x1000 demo defaults also blow
+	// the ISA guest's cycle budget — every effect is four flush+fence
+	// steps).
+	workers, iters := o.workers, o.iters
+	loopK := 0
+	var world resilience.World
+	var vw *resilience.VMWorld
+	var sw *resilience.ServerWorld
+	if plan == nil || plan.Point == chaos.PointStep {
+		if !o.setFlags["workers"] {
+			workers = 2
+		}
+		if !o.setFlags["iters"] {
+			iters = 700
+		}
+		loopK = 4
+		vw = resilience.NewVMWorld(resilience.VMWorldConfig{
+			Workers: workers, Iters: iters, MaxCycles: o.timeout})
+		if plan == nil {
+			span, err := vw.CalibrateSpan()
+			if err != nil {
+				return fmt.Errorf("calibration: %v", err)
+			}
+			plan = &chaos.CrashPlan{Seed: 1, Point: chaos.PointStep,
+				Span: 3*span/100 + 1, Crashes: 100, WClean: 1, WVolatile: 2, WTorn: 1}
+		}
+		world = vw
+	} else {
+		if !o.setFlags["workers"] {
+			workers = 3
+		}
+		if !o.setFlags["iters"] {
+			iters = 40
+		}
+		sw = resilience.NewServerWorld(resilience.ServerWorldConfig{
+			Clients: workers, Iters: iters, Shards: 2,
+			MaxCycles: o.timeout, JitterSeed: plan.Seed})
+		world = sw
+	}
+
+	fmt.Printf("plan:          %s\n", plan)
+	out, err := resilience.Supervise(world, resilience.Config{
+		Boots:      plan.Boot,
+		MaxBoots:   plan.Crashes + 1024,
+		CrashLoopK: loopK,
+		JitterSeed: plan.Seed,
+		OnBoot: func(boot int, degraded bool, backoff uint64) {
+			if o.trace > 0 && boot < o.trace {
+				fmt.Printf("  boot %-4d degraded=%-5v backoff=%d\n", boot, degraded, backoff)
+			}
+		},
+	})
+	fmt.Printf("campaign:      %v\n", out)
+	if err != nil {
+		return err
+	}
+	switch {
+	case vw != nil:
+		fmt.Printf("repairs:       %d (final audit: exactly-once, WAL retired, lock free)\n", vw.Repairs())
+	case sw != nil:
+		st := sw.Stats()
+		fmt.Printf("server paths:  applies %d, dup acks %d, replayed %d, dedup skips %d, shed %d, timeouts %d\n",
+			st.Applies, st.DupAcks, st.Replayed, st.ReplaySkips, st.Shed, st.Timeouts)
+	}
+	return nil
+}

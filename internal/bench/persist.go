@@ -71,12 +71,8 @@ func vmachPersistSweep(cfg PersistConfig, scenario, src string, wellFlushed bool
 			append(args, tableRepro("persist", cfg.Seed))...)
 	}
 	boot := func(mem *vmach.Memory, faults chaos.Injector, load bool) *kernel.Kernel {
-		k := kernel.New(persistKernelConfig(mem, faults, cfg.MaxCycles))
-		if load {
-			k.Load(prog)
-		}
-		k.Spawn(prog.MustSymbol("main"), guest.StackTop(0))
-		return k
+		return kernel.Boot(persistKernelConfig(mem, faults, cfg.MaxCycles),
+			prog, "main", guest.StackTop(0), load)
 	}
 
 	// Calibrate the step span with an installed-but-inert injector (the

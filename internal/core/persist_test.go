@@ -101,6 +101,150 @@ func TestPersistentMutexCrashRecovery(t *testing.T) {
 	}
 }
 
+// The recovery path itself under crashes: every persist ordinal of the
+// prelude workload is crashed into, and for each surviving NVM image
+// that still names an owner, the repair is crashed at EVERY memop and
+// persist ordinal it executes — then crashed AGAIN at every ordinal of
+// the re-run repair (recovery of the recovery). However many times the
+// machine restarts mid-repair, the bounded-durability-loss invariant
+// nvm_counter >= committed-1 holds at each crash, and the final clean
+// recovery plus a full workload lands on the exact counter.
+func TestPersistentMutexRecoverySweep(t *testing.T) {
+	const workers, iters = 2, 3
+
+	type state struct {
+		mu        *PersistentMutex
+		counter   Word
+		committed int
+	}
+	checkBound := func(t *testing.T, st *state, where string) {
+		t.Helper()
+		if int(st.counter) < st.committed-1 {
+			t.Errorf("%s: NVM counter %d but %d increments committed; protocol lost more than one",
+				where, st.counter, st.committed)
+		}
+	}
+
+	// prelude boots a machine and crashes it (volatile tier discarded) at
+	// the n-th persist op of the workload; nil error means n was past the
+	// last persist op and the run completed.
+	prelude := func(n uint64) (*state, error) {
+		st := &state{mu: NewPersistentMutex()}
+		p := uniproc.New(uniproc.Config{Faults: chaos.OneShot{
+			Point: chaos.PointPersist, N: n,
+			Action: chaos.Action{CrashVolatile: true},
+		}})
+		p.EnablePersistence()
+		p.Go("main", func(e *uniproc.Env) {
+			for w := 0; w < workers; w++ {
+				e.Fork("worker", persistentWorkload(st.mu, &st.counter, iters, &st.committed))
+			}
+		})
+		return st, p.Run()
+	}
+
+	// recBoot runs Recover alone on a fresh processor over st's words.
+	recBoot := func(st *state, inj chaos.Injector) (err error, mem, per uint64) {
+		p := uniproc.New(uniproc.Config{Faults: inj})
+		p.EnablePersistence()
+		p.Go("recover", func(e *uniproc.Env) { st.mu.Recover(e) })
+		err = p.Run()
+		return err, p.MemOps(), p.PersistOps()
+	}
+
+	// Sweep the prelude's persist ordinals; keep the crash points whose
+	// NVM image leaves the lock owned — those are the images whose repair
+	// path the inner sweeps exercise.
+	var owned []uint64
+	for n := uint64(1); ; n++ {
+		st, err := prelude(n)
+		if err == nil {
+			break // past the last persist op
+		}
+		if !errors.Is(err, uniproc.ErrMachineCrash) {
+			t.Fatal(err)
+		}
+		checkBound(t, st, "prelude")
+		if rmOwner(st.mu.Word()) >= 0 {
+			owned = append(owned, n)
+		}
+	}
+	if len(owned) == 0 {
+		t.Fatal("no prelude crash point leaves the lock owned — the sweep proves nothing")
+	}
+	// Thin to at most four spread points to bound the cubic sweep.
+	if len(owned) > 4 {
+		owned = []uint64{owned[0], owned[len(owned)/3], owned[2*len(owned)/3], owned[len(owned)-1]}
+	}
+
+	for _, n := range owned {
+		for _, pt := range []chaos.Point{chaos.PointMemOp, chaos.PointPersist} {
+			// Calibrate the repair's ordinal space on a throwaway image.
+			cal, _ := prelude(n)
+			cerr, mem, per := recBoot(cal, nil)
+			if cerr != nil {
+				t.Fatal(cerr)
+			}
+			bound := mem
+			if pt == chaos.PointPersist {
+				bound = per
+			}
+			if bound == 0 {
+				t.Fatalf("prelude@%d: repair performed no ops at point %v", n, pt)
+			}
+			for i := uint64(1); i <= bound; i++ {
+				// j==0 is "no second crash"; j>0 crashes the re-run repair
+				// too (it may be shorter than the first — a OneShot past
+				// its end simply never fires, which is the clean case).
+				for j := uint64(0); j <= bound; j++ {
+					st, err := prelude(n)
+					if !errors.Is(err, uniproc.ErrMachineCrash) {
+						t.Fatal(err)
+					}
+					err, _, _ = recBoot(st, chaos.OneShot{
+						Point: pt, N: i, Action: chaos.Action{CrashVolatile: true},
+					})
+					if !errors.Is(err, uniproc.ErrMachineCrash) {
+						t.Fatalf("prelude@%d %v@%d: recovery did not crash: %v", n, pt, i, err)
+					}
+					checkBound(t, st, "mid-repair")
+					if j > 0 {
+						err, _, _ = recBoot(st, chaos.OneShot{
+							Point: pt, N: j, Action: chaos.Action{CrashVolatile: true},
+						})
+						if err != nil && !errors.Is(err, uniproc.ErrMachineCrash) {
+							t.Fatal(err)
+						}
+						checkBound(t, st, "mid-re-repair")
+					}
+					// Final clean recovery, then a full workload on top:
+					// the repairs must not have eaten an increment or left
+					// a phantom owner.
+					c0 := st.counter
+					p := uniproc.New(uniproc.Config{})
+					p.EnablePersistence()
+					p.Go("main", func(e *uniproc.Env) {
+						st.mu.Recover(e)
+						for w := 0; w < workers; w++ {
+							e.Fork("worker", persistentWorkload(st.mu, &st.counter, iters, &st.committed))
+						}
+					})
+					if err := p.Run(); err != nil {
+						t.Fatalf("prelude@%d %v i=%d j=%d: final boot: %v", n, pt, i, j, err)
+					}
+					if want := c0 + workers*iters; st.counter != want {
+						t.Errorf("prelude@%d %v i=%d j=%d: counter = %d, want %d",
+							n, pt, i, j, st.counter, want)
+					}
+					if own := rmOwner(st.mu.Word()); own >= 0 {
+						t.Errorf("prelude@%d %v i=%d j=%d: lock still owned by %d", n, pt, i, j, own)
+					}
+				}
+			}
+		}
+	}
+}
+
 // Recover is a no-op on a free lock, and repairs an owned one with the
 // epoch bumped and the repaired word made durable before it returns.
 func TestRecoverRepairsFromNVMAlone(t *testing.T) {

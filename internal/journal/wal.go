@@ -39,6 +39,13 @@ const (
 	OpWriteFile
 	OpAppend
 	OpRemove
+	// OpEffect is an application-defined exactly-once effect record: the
+	// path names the client, the data carries its request sequence
+	// number. The resilient server (internal/uxserver) logs one before
+	// applying each in-place effect, and its replay deduplicates by
+	// per-client applied sequence — the protocol that makes client
+	// retries across a machine crash idempotent.
+	OpEffect
 	numKinds
 )
 
@@ -54,6 +61,8 @@ func (k Kind) String() string {
 		return "append"
 	case OpRemove:
 		return "remove"
+	case OpEffect:
+		return "effect"
 	}
 	return "?"
 }

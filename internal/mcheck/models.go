@@ -92,6 +92,11 @@ var registry = map[string]modelEntry{
 		build:    qlockRecModelBuild,
 		doc:      "smp queue lock under forced kills with rendezvoused overlap; variant=rmcs|mcs|rmcs-unspliced (mcs wedges, unspliced is the planted repair bug)",
 	},
+	"resilience": {
+		defaults: map[string]string{"variant": "dedup", "kind": "volatile", "clients": "1", "iters": "2"},
+		build:    resilienceModel,
+		doc:      "supervised crash-restart campaign over the exactly-once server; ordinals are global persist ops across boots; variant=dedup|nodedup (nodedup is the planted replay double-apply), kind=volatile|torn",
+	},
 }
 
 // Models lists the registered model names, sorted, with one-line docs.

@@ -224,6 +224,21 @@ func Suite() []SuiteEntry {
 			Why: "planted unspliced-successor repair bug: the checker must catch and shrink it",
 		},
 		{
+			Model: "resilience", Over: map[string]string{"variant": "dedup", "kind": "volatile"},
+			Mode: "exhaustive", K: 2, Expect: "pass",
+			Why: "supervised campaign: two volatile crashes at any global persist ordinals (incl. inside recovery) stay exactly-once",
+		},
+		{
+			Model: "resilience", Over: map[string]string{"variant": "dedup", "kind": "torn"},
+			Mode: "exhaustive", K: 1, Expect: "pass",
+			Why: "supervised campaign under torn write-backs: applied/counter splits self-heal on replay",
+		},
+		{
+			Model: "resilience", Over: map[string]string{"variant": "nodedup", "kind": "volatile"},
+			Mode: "exhaustive", K: 1, Expect: "violation",
+			Why: "planted missing-dedup replay: one crash double-applies; shrinks to a single decision",
+		},
+		{
 			Model: "broken2store", Mode: "random", K: 3, Seed: 0xC0FFEE, Count: 200,
 			Expect: "violation",
 			Why:    "randomized mode finds and shrinks the same defect from a seed",

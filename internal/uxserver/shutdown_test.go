@@ -1,0 +1,121 @@
+package uxserver
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cthreads"
+	"repro/internal/memfs"
+	"repro/internal/uniproc"
+)
+
+// Regression tests for the Shutdown contract: idempotent (repeated and
+// concurrent calls are safe, worker wake-ups fire exactly once) and
+// draining (on return no accepted request is still queued or awaiting
+// its reply) — in BOTH request planes.
+
+// startPlane builds a server on the requested plane.
+func startPlane(p *uniproc.Processor, perCPU bool, width int) *Server {
+	pkg := cthreads.New(core.NewRAS())
+	fs := memfs.New(pkg)
+	if perCPU {
+		return StartPerCPU(p, pkg, fs, width, 4)
+	}
+	return Start(p, pkg, fs, width)
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	for _, perCPU := range []bool{false, true} {
+		name := "single-queue"
+		if perCPU {
+			name = "per-cpu"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := uniproc.New(uniproc.Config{Quantum: 512, JitterSeed: 5})
+			s := startPlane(p, perCPU, 2)
+			calls := 0
+			p.Go("closer", func(e *uniproc.Env) {
+				if err := s.Create(e, "/f"); err != nil {
+					t.Errorf("create: %v", err)
+				}
+				// Two concurrent callers plus two repeated calls from the
+				// same thread: all four must return, none may wake the
+				// workers twice.
+				e.Fork("closer2", func(e *uniproc.Env) {
+					s.Shutdown(e)
+					calls++
+				})
+				s.Shutdown(e)
+				calls++
+				s.Shutdown(e)
+				s.Shutdown(e)
+				calls += 2
+				if err := s.Create(e, "/g"); err != ErrStopped {
+					t.Errorf("submit after shutdown: err = %v, want ErrStopped", err)
+				}
+			})
+			if err := p.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if calls != 4 {
+				t.Errorf("shutdown calls completed = %d, want 4", calls)
+			}
+			if perCPU && !s.bellsRung {
+				t.Error("per-CPU shutdown did not ring the worker bells")
+			}
+		})
+	}
+}
+
+func TestShutdownDrains(t *testing.T) {
+	for _, perCPU := range []bool{false, true} {
+		name := "single-queue"
+		if perCPU {
+			name = "per-cpu"
+		}
+		t.Run(name, func(t *testing.T) {
+			p := uniproc.New(uniproc.Config{Quantum: 256, JitterSeed: 9})
+			s := startPlane(p, perCPU, 2)
+			const clients, files = 3, 8
+			served := 0
+			p.Go("spawner", func(e *uniproc.Env) {
+				for c := 0; c < clients; c++ {
+					cid := byte('a' + c)
+					e.Fork("client", func(e *uniproc.Env) {
+						for i := 0; i < files; i++ {
+							path := "/" + string([]byte{cid, byte('0' + i)})
+							if err := s.Create(e, path); err == ErrStopped {
+								return
+							} else if err != nil {
+								t.Errorf("create %s: %v", path, err)
+							}
+							served++
+						}
+					})
+				}
+				// Shut down while the clients are mid-burst: accepted
+				// requests must still be served before Shutdown returns.
+				e.Yield()
+				s.Shutdown(e)
+				if s.inflight != 0 {
+					t.Errorf("inflight = %d after Shutdown returned", s.inflight)
+				}
+				if !perCPU && len(s.queue) != 0 {
+					t.Errorf("queue length = %d after Shutdown returned", len(s.queue))
+				}
+				// Every request the server accepted has produced its reply:
+				// a client observed either success (counted in served) or
+				// ErrStopped (refused, not accepted).
+				if uint64(served) != s.Requests {
+					t.Errorf("served = %d but server accepted %d", served, s.Requests)
+				}
+			})
+			if err := p.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if served == 0 {
+				t.Error("shutdown landed before any request was accepted; drain untested")
+			}
+		})
+	}
+}

@@ -80,12 +80,13 @@ type Server struct {
 	workers  int
 
 	// Per-CPU request plane (nil in single-queue mode).
-	dom      *percpu.Domain
-	pq       *percpu.Queue
-	slots    *percpu.FreeList
-	bell     []*cthreads.Semaphore // one doorbell per shard
-	table    []*request            // descriptor handle → in-flight request
-	inflight int                   // accepted but not yet replied-to
+	dom       *percpu.Domain
+	pq        *percpu.Queue
+	slots     *percpu.FreeList
+	bell      []*cthreads.Semaphore // one doorbell per shard
+	table     []*request            // descriptor handle → in-flight request
+	inflight  int                   // accepted but not yet replied-to (both planes)
+	bellsRung bool                  // Shutdown has rung the workers out
 
 	// Requests counts client calls accepted.
 	Requests uint64
@@ -271,11 +272,13 @@ func (s *Server) submitLocked(e *uniproc.Env, r *request) {
 		return
 	}
 	s.queue = append(s.queue, r)
+	s.inflight++
 	s.Requests++
 	e.ChargeALU(10) // marshal
 	s.nonEmpty.Signal(e)
 	s.mu.Unlock(e)
 	r.done.P(e)
+	s.inflight--
 }
 
 // submitPerCPU runs the lock-free request path: allocate a descriptor
@@ -372,27 +375,40 @@ func (s *Server) Stat(e *uniproc.Env, path string) (isDir bool, size int, err er
 
 // Shutdown stops the server. Its contract, precisely: every request
 // whose submit was accepted before Shutdown marked the server stopped is
-// still served and its client woken with the reply; every submit after
-// that point fails with ErrStopped without being enqueued. In
-// single-queue mode Shutdown returns immediately after flagging the
-// workers — they drain the remaining queue to empty and then exit. In
-// per-CPU mode Shutdown additionally waits until every accepted request
-// has been replied to before ringing the workers out, so on return the
-// request plane is quiescent and all workers are exiting. Call from a
-// client thread when the workload is finished so the processor can halt.
+// still served and its client woken with the reply — in BOTH request
+// planes, Shutdown waits for that drain, so on return the plane is
+// quiescent (no queued entries, no client still blocked on a reply) and
+// the workers are exiting. Every submit after the stop mark fails with
+// ErrStopped without being enqueued. Shutdown is idempotent: concurrent
+// or repeated calls all wait for the same quiescence, and the worker
+// wake-ups fire exactly once. Call from a client thread when the
+// workload is finished so the processor can halt.
 func (s *Server) Shutdown(e *uniproc.Env) {
 	if s.pq != nil {
 		s.stopped = true
 		for s.inflight > 0 {
 			e.Yield()
 		}
-		for _, b := range s.bell {
-			b.V(e)
+		if !s.bellsRung {
+			s.bellsRung = true
+			for _, b := range s.bell {
+				b.V(e)
+			}
 		}
 		return
 	}
 	s.mu.Lock(e)
+	first := !s.stopped
 	s.stopped = true
-	s.nonEmpty.Broadcast(e)
+	if first {
+		s.nonEmpty.Broadcast(e)
+	}
 	s.mu.Unlock(e)
+	// Drain: wait until every accepted request has been served and its
+	// client woken. inflight covers the window from accept to the
+	// client's return from the reply wait, so this cannot return while a
+	// ring entry is still in flight.
+	for s.inflight > 0 {
+		e.Yield()
+	}
 }
